@@ -1,0 +1,79 @@
+// Throughput micro-benchmarks (google-benchmark): bit-generation rates of
+// the two DH-TRNG backends and the baselines.  The paper's Mbps figures are
+// *hardware clock* rates (one bit per cycle at 620/670 MHz); these numbers
+// measure the simulation models' software speed, which is what bounds the
+// statistical experiments above.
+#include <benchmark/benchmark.h>
+
+#include "core/baselines/coso_trng.h"
+#include "core/baselines/xor_ro_trng.h"
+#include "core/dhtrng.h"
+#include "core/hybrid_array.h"
+
+namespace {
+
+using namespace dhtrng;
+
+void BM_DhTrngFastBackend(benchmark::State& state) {
+  core::DhTrng trng({.device = fpga::DeviceModel::artix7(), .seed = 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trng.next_bit());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DhTrngFastBackend);
+
+void BM_DhTrngGateLevelBackend(benchmark::State& state) {
+  core::DhTrng trng({.device = fpga::DeviceModel::artix7(),
+                     .seed = 2,
+                     .backend = core::Backend::GateLevel});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trng.next_bit());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DhTrngGateLevelBackend);
+
+void BM_XorRoBaseline(benchmark::State& state) {
+  core::XorRoTrng trng({.seed = 3, .stages = static_cast<int>(state.range(0)),
+                        .rings = 12});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trng.next_bit());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_XorRoBaseline)->Arg(3)->Arg(9);
+
+void BM_HybridArray(benchmark::State& state) {
+  core::HybridArrayTrng trng({.seed = 4,
+                              .units = static_cast<int>(state.range(0))});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trng.next_bit());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HybridArray)->Arg(9)->Arg(18);
+
+void BM_CosoBaseline(benchmark::State& state) {
+  core::CosoTrng trng({.seed = 5});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trng.next_bit());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CosoBaseline);
+
+void BM_BulkGenerateMbit(benchmark::State& state) {
+  core::DhTrng trng({.device = fpga::DeviceModel::artix7(), .seed = 6});
+  for (auto _ : state) {
+    support::BitStream bs;
+    trng.generate(bs, 1 << 20);
+    benchmark::DoNotOptimize(bs.size());
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 20));
+}
+BENCHMARK(BM_BulkGenerateMbit)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// Shared helpers for the reproduction benches: flag parsing, table
+// printing, and the device list the paper evaluates on.
+//
+// Every bench prints the paper's reported values next to the values
+// measured from the simulation models, so bench_output.txt doubles as the
+// paper-vs-measured record summarized in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fpga/device.h"
+
+namespace dhtrng::bench {
+
+/// Parse "--name=value" (integer) from argv, else return fallback.
+inline long long flag(int argc, char** argv, const char* name,
+                      long long fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atoll(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+inline void header(const char* experiment, const char* paper_ref) {
+  std::printf("=============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("=============================================================\n");
+}
+
+inline void note(const char* text) { std::printf("note: %s\n", text); }
+
+inline std::vector<fpga::DeviceModel> paper_devices() {
+  return {fpga::DeviceModel::virtex6(), fpga::DeviceModel::artix7()};
+}
+
+}  // namespace dhtrng::bench

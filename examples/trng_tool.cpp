@@ -1,0 +1,136 @@
+// Command-line TRNG utility — generate random data and/or evaluate it.
+//
+//   trng_tool generate [--device=artix7|virtex6] [--bits=N] [--seed=S]
+//                      [--backend=fast|gate] [--format=hex|bin|bits]
+//                      [--post=none|vn|peres|xor4|sha256]
+//   trng_tool evaluate [--device=...] [--bits=N] [--seed=S]
+//   trng_tool report   [--device=...] [--bits=N] [--seed=S]
+//
+// `generate` writes to stdout; `evaluate` runs the quick statistical
+// screen (bias, ACF, core SP 800-90B estimators, IID permutation test);
+// `report` renders the full characterization report (all suites).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/dhtrng.h"
+#include "core/postprocess.h"
+#include "stats/correlation.h"
+#include "stats/report.h"
+#include "stats/sp800_90b.h"
+
+namespace {
+
+using namespace dhtrng;
+
+std::string flag(int argc, char** argv, const char* name,
+                 const std::string& fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+core::DhTrng make_trng(int argc, char** argv) {
+  core::DhTrngConfig cfg;
+  if (flag(argc, argv, "device", "artix7") == "virtex6") {
+    cfg.device = fpga::DeviceModel::virtex6();
+  }
+  cfg.seed = std::stoull(flag(argc, argv, "seed", "1"));
+  if (flag(argc, argv, "backend", "fast") == "gate") {
+    cfg.backend = core::Backend::GateLevel;
+  }
+  return core::DhTrng(cfg);
+}
+
+int cmd_generate(int argc, char** argv) {
+  core::DhTrng trng = make_trng(argc, argv);
+  const auto nbits = std::stoull(flag(argc, argv, "bits", "8192"));
+  auto bits = trng.generate(nbits);
+
+  const std::string post = flag(argc, argv, "post", "none");
+  if (post == "vn") {
+    bits = core::von_neumann_extract(bits);
+  } else if (post == "peres") {
+    bits = core::peres_extract(bits);
+  } else if (post == "xor4") {
+    bits = core::xor_compress(bits, 4);
+  } else if (post == "sha256") {
+    bits = core::sha256_condition(bits, 1024);
+  } else if (post != "none") {
+    std::fprintf(stderr, "unknown --post=%s\n", post.c_str());
+    return 2;
+  }
+
+  const std::string format = flag(argc, argv, "format", "hex");
+  if (format == "bits") {
+    std::fputs(bits.to_string().c_str(), stdout);
+    std::fputc('\n', stdout);
+  } else if (format == "bin") {
+    const auto bytes = bits.to_bytes();
+    std::fwrite(bytes.data(), 1, bytes.size(), stdout);
+  } else {
+    const auto bytes = bits.to_bytes();
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      std::printf("%02x", bytes[i]);
+      if (i % 32 == 31) std::fputc('\n', stdout);
+    }
+    std::fputc('\n', stdout);
+  }
+  return 0;
+}
+
+int cmd_evaluate(int argc, char** argv) {
+  core::DhTrng trng = make_trng(argc, argv);
+  const auto nbits = std::stoull(flag(argc, argv, "bits", "200000"));
+  const auto bits = trng.generate(nbits);
+
+  std::printf("generator : %s on %s at %.0f MHz\n", trng.name().c_str(),
+              trng.config().device.name.c_str(), trng.clock_mhz());
+  std::printf("sample    : %zu bits\n\n", bits.size());
+  std::printf("bias      : %.4f%%\n", stats::bias_percent(bits));
+  double max_acf = 0.0;
+  for (double a : stats::autocorrelation(bits, 100)) {
+    max_acf = std::max(max_acf, std::abs(a));
+  }
+  std::printf("max |ACF| : %.5f over lags 1..100\n\n", max_acf);
+  std::printf("SP 800-90B estimators:\n");
+  for (const auto& row : stats::sp800_90b::run_all(bits)) {
+    std::printf("  %-12s h-min = %.4f\n", row.name.c_str(), row.h_min);
+  }
+  const auto iid = stats::sp800_90b::permutation_iid_test(
+      bits.slice(0, std::min<std::size_t>(bits.size(), 20000)), 120, 3);
+  std::printf("\nIID permutation test (%zu shuffles): %s\n", iid.permutations,
+              iid.iid_assumption_holds ? "assumption holds" : "REJECTED");
+  return 0;
+}
+
+int cmd_report(int argc, char** argv) {
+  core::DhTrng trng = make_trng(argc, argv);
+  stats::ReportOptions opts;
+  opts.sample_bits = std::stoull(flag(argc, argv, "bits", "300000"));
+  const auto report = stats::characterize(trng, opts);
+  std::fputs(report.text.c_str(), stdout);
+  return report.all_clear ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s generate|evaluate|report [--device=] [--bits=] "
+                 "[--seed=] [--backend=] [--format=] [--post=]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "generate") return cmd_generate(argc, argv);
+  if (cmd == "evaluate") return cmd_evaluate(argc, argv);
+  if (cmd == "report") return cmd_report(argc, argv);
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  return 2;
+}

@@ -1,0 +1,60 @@
+// Waveform inspection: run the exact DH-TRNG gate-level netlist for a few
+// microseconds and dump the interesting nets (hybrid-unit rings, central
+// XOR rings, the sampled outputs) to a VCD file for GTKWave.
+//
+//   $ ./waveform_dump [nanoseconds]
+//   $ gtkwave dhtrng_waves.vcd
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "core/netlist.h"
+#include "sim/vcd.h"
+
+int main(int argc, char** argv) {
+  using namespace dhtrng;
+  const double ns = argc > 1 ? std::atof(argv[1]) : 200.0;
+
+  const auto device = fpga::DeviceModel::artix7();
+  core::DhTrngNetlist netlist =
+      core::build_dhtrng_netlist(device, device.max_clock_mhz(2));
+
+  sim::SimConfig cfg;
+  cfg.seed = 2024;
+  cfg.gate_jitter = device.gate_jitter;
+  sim::Simulator simulator(netlist.circuit, cfg);
+  simulator.record_dff(netlist.out_dff);
+
+  // Trace the first structure's rings plus clock and output.
+  const std::vector<sim::NetId> nets = {
+      netlist.clock_net,
+      netlist.circuit.net("s0_a_r1"),  // RO1 (jitter ring)
+      netlist.circuit.net("s0_a_r2"),  // RO2 (hold/oscillate ring)
+      netlist.circuit.net("s0_b_r1"),
+      netlist.circuit.net("s0_b_r2"),
+      netlist.circuit.net("s0_c1_x1"),  // central XOR ring 1
+      netlist.circuit.net("s0_c2_x1"),  // central XOR ring 2
+      netlist.circuit.net("xt2"),       // XOR-tree root
+      netlist.out_net,
+  };
+  sim::VcdTrace trace(netlist.circuit, simulator, nets, 20.0);
+  trace.run_until(ns * 1000.0);
+
+  const char* path = "dhtrng_waves.vcd";
+  std::ofstream out(path);
+  trace.write(out);
+
+  std::printf("simulated %.0f ns of the gate-level DH-TRNG netlist\n", ns);
+  std::printf("  events processed    : %llu\n",
+              static_cast<unsigned long long>(simulator.events_processed()));
+  std::printf("  value changes traced: %zu across %zu nets\n",
+              trace.change_count(), nets.size());
+  std::printf("  metastable captures : %llu\n",
+              static_cast<unsigned long long>(simulator.metastable_samples()));
+  std::printf("  output bits sampled : %zu\n",
+              simulator.samples(netlist.out_dff).size());
+  std::printf("wrote %s — open with GTKWave to see RO2's hold/oscillate\n"
+              "switching driven by RO1 (the dynamic hybrid mechanism).\n",
+              path);
+  return 0;
+}

@@ -1,0 +1,32 @@
+#include "core/baselines/latch_trng.h"
+
+#include <algorithm>
+
+namespace dhtrng::core {
+
+LatchTrng::LatchTrng(LatchTrngConfig config)
+    : config_(config),
+      rng_(config.seed ^ 0x1ee7c0defee1deadULL),
+      imbalance_(0.0) {}
+
+bool LatchTrng::next_bit() {
+  // The cell's resolution probability wanders slowly around 1/2 (thermal
+  // drift of the differential pair); each excite resolves per Eq. 2 with
+  // delta = imbalance.
+  imbalance_ = 0.999 * imbalance_ +
+               rng_.gaussian(0.0, config_.imbalance_sigma * 0.045);
+  imbalance_ = std::clamp(imbalance_, -0.2, 0.2);
+  return rng_.bernoulli(0.5 + imbalance_);
+}
+
+void LatchTrng::restart() { imbalance_ = 0.0; }
+
+fpga::ActivityEstimate LatchTrng::activity() const {
+  fpga::ActivityEstimate a;
+  a.clock_mhz = config_.bit_rate_mbps;  // excite clock ~ bit rate
+  a.flip_flops = 3;
+  a.logic_toggle_ghz = 4.0 * config_.bit_rate_mbps * 1e-3;
+  return a;
+}
+
+}  // namespace dhtrng::core

@@ -1,0 +1,48 @@
+// Multi-stage feedback ring-oscillator TRNG (Cui et al., TCAS-II'21 —
+// reference [4] of the paper).  Feedback taps across the inverter chain
+// raise the effective noise order N without lowering the oscillation
+// frequency proportionally: the model uses a short ring's period with a
+// long ring's accumulated jitter.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/ro.h"
+#include "core/trng.h"
+#include "noise/jitter.h"
+#include "support/rng.h"
+
+namespace dhtrng::core {
+
+struct MsfRoConfig {
+  fpga::DeviceModel device = fpga::DeviceModel::artix7();
+  noise::PvtCondition pvt{};
+  std::uint64_t seed = 1;
+  int stages = 15;          ///< physical chain length (noise order)
+  int feedback_order = 3;   ///< effective ring length seen by the loop
+  double clock_mhz = 100.0;
+};
+
+class MsfRoTrng final : public TrngSource {
+ public:
+  explicit MsfRoTrng(MsfRoConfig config = {});
+
+  std::string name() const override { return "MSFRO"; }
+  bool next_bit() override;
+  void restart() override;
+
+  sim::ResourceCounts resources() const override;
+  double clock_mhz() const override { return config_.clock_mhz; }
+  fpga::ActivityEstimate activity() const override;
+
+ private:
+  MsfRoConfig config_;
+  double dt_ps_;
+  noise::PvtScaling scale_;
+  std::optional<PhaseRo> ring_;
+  noise::SharedSupplyNoise shared_noise_;
+  support::Xoshiro256 meta_rng_;
+};
+
+}  // namespace dhtrng::core

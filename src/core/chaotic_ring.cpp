@@ -1,0 +1,62 @@
+#include "core/chaotic_ring.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace dhtrng::core {
+
+namespace {
+
+PhaseRoParams central_ring_params(const ChaoticRingParams& p) {
+  PhaseRoParams rp;
+  rp.stages = 2;  // 2-stage XOR ring
+  rp.stage_delay_ps = p.xor_delay_ps;
+  rp.kappa_ps_per_sqrt_ps = p.kappa_ps_per_sqrt_ps;
+  rp.flicker_sigma_ps = p.flicker_sigma_ps;
+  rp.duty_sigma = 0.03;
+  // Central rings are not classic ROs; their supply coupling is modest
+  // because the chaotic mode switching decorrelates them from the rail.
+  rp.shared_coupling = 0.15;
+  return rp;
+}
+
+}  // namespace
+
+ChaoticRing::ChaoticRing(const ChaoticRingParams& params, std::uint64_t seed)
+    : params_(params),
+      ring_(central_ring_params(params), seed),
+      rng_(seed ^ 0x94d049bb133111ebULL) {}
+
+void ChaoticRing::advance(double dt_ps, double phase_a, double phase_b,
+                          bool feedback_bit, bool coupling_enabled,
+                          bool feedback_enabled, double shared_noise_ps,
+                          const noise::PvtScaling& scale) {
+  double jitter_gain = 1.0;
+  if (coupling_enabled) {
+    // Disorderly mode switching: the edge rings' oscillations modulate the
+    // loop's effective delay.  The modulation is deterministic in the
+    // neighbour phases (it is logic, not noise) but, because the phases are
+    // jittered and incommensurate, it de-periodizes the central ring; the
+    // chaos also multiplies the loop's own white jitter.
+    const double mod =
+        params_.mode_mod_depth *
+        (std::sin(2.0 * std::numbers::pi * phase_a) +
+         std::sin(2.0 * std::numbers::pi * (phase_b + 0.25)));
+    ring_.inject_phase(mod * dt_ps / ring_.period_ps(scale) * 0.5);
+    jitter_gain = params_.chaos_gain;
+  }
+  if (feedback_enabled && feedback_bit != last_feedback_) {
+    // Fig. 4(b): the registered output re-enters the central ring through a
+    // feedback XOR input.  A static level does not move the loop; an *edge*
+    // on the feedback line flips the XOR's logic mode and displaces the
+    // loop state by about one gate delay.  Keying the injection on
+    // transitions (which occur with probability 1/2 regardless of the
+    // output's value) randomizes the ring without imprinting the output's
+    // sign onto it as serial correlation.
+    ring_.inject_phase(params_.xor_delay_ps / ring_.period_ps(scale));
+  }
+  last_feedback_ = feedback_bit;
+  ring_.advance(dt_ps, shared_noise_ps, scale, jitter_gain);
+}
+
+}  // namespace dhtrng::core

@@ -1,0 +1,64 @@
+// Central XOR-ring model for the coupling strategy (Section 3.2, Fig. 4a).
+//
+// A central ring is a loop of two XOR gates whose free inputs are driven by
+// the edge rings on both sides (and, with the feedback strategy of Fig. 4b,
+// by the registered final output).  Because an XOR ring's logic mode flips
+// with its inputs, the loop switches disorderly between buffering and
+// inverting configurations: its gate-level signal performs non-periodic
+// random flips and its effective oscillation is chaos that *amplifies* the
+// phase noise entering from the edge rings.
+//
+// Fast model: a phase accumulator at the 2-XOR loop frequency whose phase
+// increment is modulated by the neighbouring edge-ring phases (the
+// disorderly mode switching) and whose white jitter is amplified by a
+// chaos gain.  With coupling disabled it degenerates to a plain rotation
+// (a fixed-mode XOR ring = an ordinary oscillator) — which is exactly what
+// the ablation bench measures.
+#pragma once
+
+#include <cstdint>
+
+#include "core/ro.h"
+#include "noise/pvt.h"
+#include "support/rng.h"
+
+namespace dhtrng::core {
+
+struct ChaoticRingParams {
+  double xor_delay_ps = 350.0;   ///< per-XOR-stage delay incl. routing
+  double chaos_gain = 8.0;       ///< white-jitter amplification when coupled
+  double mode_mod_depth = 0.35;  ///< phase-increment modulation by neighbours
+  double kappa_ps_per_sqrt_ps = 0.035;
+  double flicker_sigma_ps = 3.0;
+};
+
+class ChaoticRing {
+ public:
+  ChaoticRing(const ChaoticRingParams& params, std::uint64_t seed);
+
+  /// Advance one sampling interval.  `phase_a` / `phase_b` are the current
+  /// fractional phases of the two neighbouring edge rings; `feedback_bit`
+  /// is the registered final output (feedback strategy), ignored when
+  /// feedback is disabled by the caller passing `feedback_enabled=false`.
+  void advance(double dt_ps, double phase_a, double phase_b,
+               bool feedback_bit, bool coupling_enabled,
+               bool feedback_enabled, double shared_noise_ps,
+               const noise::PvtScaling& scale);
+
+  /// Level sampled by the multistage sampling array.
+  bool level() const { return ring_.level(); }
+  double phase() const { return ring_.phase(); }
+
+  void reset() {
+    ring_.reset();
+    last_feedback_ = false;
+  }
+
+ private:
+  ChaoticRingParams params_;
+  PhaseRo ring_;
+  support::Xoshiro256 rng_;
+  bool last_feedback_ = false;
+};
+
+}  // namespace dhtrng::core

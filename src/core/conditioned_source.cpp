@@ -1,0 +1,68 @@
+#include "core/conditioned_source.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dhtrng::core {
+
+ConditionedSource::ConditionedSource(TrngSource& raw,
+                                     ConditionedSourceConfig config)
+    : raw_(raw), config_(config), monitor_(config.claimed_min_entropy) {
+  // Startup sequence: health-test and discard.
+  for (std::size_t i = 0; i < config_.startup_bits; ++i) {
+    if (!monitor_.feed(raw_.next_bit())) {
+      throw EntropySourceFailure("startup health test failed");
+    }
+  }
+}
+
+void ConditionedSource::refill() {
+  support::BitStream chunk;
+  chunk.reserve(config_.chunk_bits);
+  for (std::size_t i = 0; i < config_.chunk_bits; ++i) {
+    const bool bit = raw_.next_bit();
+    if (!monitor_.feed(bit)) {
+      throw EntropySourceFailure("continuous health test alarmed");
+    }
+    chunk.push_back(bit);
+  }
+  stats_.raw_bits += chunk.size();
+
+  support::BitStream out;
+  switch (config_.conditioning) {
+    case Conditioning::None:
+      out = std::move(chunk);
+      break;
+    case Conditioning::VonNeumann:
+      out = von_neumann_extract(chunk);
+      break;
+    case Conditioning::Xor4:
+      out = xor_compress(chunk, 4);
+      break;
+    case Conditioning::Sha256: {
+      // Full-entropy output needs >= 2 x 256 bits of min-entropy per input
+      // block (SP 800-90B 3.1.5.1): block = ceil(512 / h).
+      const auto block = static_cast<std::size_t>(
+          std::ceil(512.0 / std::max(config_.claimed_min_entropy, 0.01)));
+      out = sha256_condition(chunk, std::min(block, chunk.size()));
+      break;
+    }
+  }
+  stats_.output_bits += out.size();
+  buffer_ = std::move(out);
+  cursor_ = 0;
+}
+
+bool ConditionedSource::next_bit() {
+  while (cursor_ >= buffer_.size()) refill();
+  return buffer_[cursor_++];
+}
+
+support::BitStream ConditionedSource::generate(std::size_t nbits) {
+  support::BitStream out;
+  out.reserve(nbits);
+  for (std::size_t i = 0; i < nbits; ++i) out.push_back(next_bit());
+  return out;
+}
+
+}  // namespace dhtrng::core

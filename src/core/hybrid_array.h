@@ -1,0 +1,44 @@
+// Array of n dynamic hybrid entropy units XORed into one bit per sample —
+// the configuration the paper sweeps in Table 2 ("XOR number" 9..18)
+// against arrays of 9-stage ROs, and the n-way XOR whose expected value is
+// Eq. 4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hybrid_unit.h"
+#include "core/trng.h"
+#include "noise/jitter.h"
+
+namespace dhtrng::core {
+
+struct HybridArrayConfig {
+  fpga::DeviceModel device = fpga::DeviceModel::artix7();
+  noise::PvtCondition pvt{};
+  std::uint64_t seed = 1;
+  int units = 12;          ///< XOR fan-in n
+  double clock_mhz = 100;  ///< Table 2 uses the Table 1 sampling setup
+};
+
+class HybridArrayTrng final : public TrngSource {
+ public:
+  explicit HybridArrayTrng(HybridArrayConfig config = {});
+
+  std::string name() const override;
+  bool next_bit() override;
+  void restart() override;
+
+  sim::ResourceCounts resources() const override;
+  double clock_mhz() const override { return config_.clock_mhz; }
+  fpga::ActivityEstimate activity() const override;
+
+ private:
+  HybridArrayConfig config_;
+  double dt_ps_;
+  noise::PvtScaling scale_;
+  std::vector<HybridUnit> units_;
+  noise::SharedSupplyNoise shared_noise_;
+};
+
+}  // namespace dhtrng::core

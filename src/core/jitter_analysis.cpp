@@ -1,0 +1,76 @@
+#include "core/jitter_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dhtrng::core {
+
+JitterAnalysis analyze_edge_times(const std::vector<double>& edges,
+                                  std::vector<std::size_t> horizons) {
+  if (edges.size() < 16) {
+    throw std::invalid_argument("analyze_edge_times: need >= 16 edges");
+  }
+  JitterAnalysis out;
+  out.cycles = edges.size() - 1;
+
+  // Periods.
+  double sum = 0.0, sum2 = 0.0;
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    const double p = edges[i] - edges[i - 1];
+    sum += p;
+    sum2 += p * p;
+  }
+  const double n = static_cast<double>(out.cycles);
+  out.mean_period_ps = sum / n;
+  out.period_jitter_ps =
+      std::sqrt(std::max(sum2 / n - out.mean_period_ps * out.mean_period_ps, 0.0));
+
+  if (horizons.empty()) {
+    for (std::size_t m = 1; m <= out.cycles / 4; m *= 2) horizons.push_back(m);
+  }
+  out.horizons = horizons;
+
+  // Accumulated error over m cycles: t[i+m] - t[i] - m * mean_period, over
+  // non-overlapping windows.
+  for (std::size_t m : horizons) {
+    double s = 0.0, s2 = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i + m < edges.size(); i += m) {
+      const double err = edges[i + m] - edges[i] -
+                         static_cast<double>(m) * out.mean_period_ps;
+      s += err;
+      s2 += err * err;
+      ++count;
+    }
+    if (count < 2) {
+      out.accumulated_sigma_ps.push_back(0.0);
+      continue;
+    }
+    const double c = static_cast<double>(count);
+    const double mean = s / c;
+    out.accumulated_sigma_ps.push_back(
+        std::sqrt(std::max(s2 / c - mean * mean, 0.0)));
+  }
+
+  // Log-log least-squares fit of sigma(m) ~ a m^b over the valid points.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  std::size_t pts = 0;
+  for (std::size_t i = 0; i < out.horizons.size(); ++i) {
+    if (out.accumulated_sigma_ps[i] <= 0.0) continue;
+    const double x = std::log(static_cast<double>(out.horizons[i]));
+    const double y = std::log(out.accumulated_sigma_ps[i]);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++pts;
+  }
+  if (pts >= 2) {
+    const double p = static_cast<double>(pts);
+    out.scaling_exponent = (p * sxy - sx * sy) / (p * sxx - sx * sx);
+  }
+  return out;
+}
+
+}  // namespace dhtrng::core

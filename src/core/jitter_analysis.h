@@ -1,0 +1,33 @@
+// Oscillator jitter analysis from edge timestamps.
+//
+// Given the rising-edge times of a simulated ring node, this module
+// extracts the quantities the noise model is calibrated in: mean period,
+// cycle-to-cycle (period) jitter, and the accumulated-jitter curve
+// sigma(m) over m cycles.  For white-FM noise sigma(m) grows as sqrt(m)
+// (the law behind the paper's Eq. 1); the measured scaling exponent
+// validates the gate-level engine against the phase-domain models
+// (bench_jitter_validation, tests/core/test_jitter_analysis.cpp).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dhtrng::core {
+
+struct JitterAnalysis {
+  std::size_t cycles = 0;
+  double mean_period_ps = 0.0;
+  double period_jitter_ps = 0.0;  ///< sigma of single-period durations
+  /// Accumulated timing-error sigma over m cycles, for each probed m.
+  std::vector<std::size_t> horizons;
+  std::vector<double> accumulated_sigma_ps;
+  /// Fitted exponent b of sigma(m) ~ a * m^b (white FM -> b ~ 0.5).
+  double scaling_exponent = 0.0;
+};
+
+/// Analyze rising-edge timestamps (ps).  Horizons default to powers of two
+/// up to a quarter of the available cycles.
+JitterAnalysis analyze_edge_times(const std::vector<double>& edges,
+                                  std::vector<std::size_t> horizons = {});
+
+}  // namespace dhtrng::core

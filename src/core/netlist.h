@@ -1,0 +1,59 @@
+// Gate-level netlist of the full DH-TRNG (Figure 5a), built for the
+// event-driven simulator and consumed by the FPGA area/power models.
+//
+// Inventory (matches the paper's Section 3.3 exactly):
+//   entropy source: 20 LUTs + 4 MUXs
+//     per coupling structure (x2):
+//       RO1 of unit A/B:    NAND(en) + BUF        = 2 LUTs each
+//       RO2 of unit A/B:    INV + MUX2 loop       = 1 LUT + 1 MUX each
+//       central ring 1/2:   2 XOR gates each      = 4 LUTs
+//   sampling array: 3 LUTs + 14 DFFs
+//     12 sampling DFFs, XOR tree (XOR6 + XOR6 + XOR2 = 3 LUTs),
+//     output DFF, feedback DFF.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fpga/device.h"
+#include "fpga/slice_packer.h"
+#include "sim/circuit.h"
+
+namespace dhtrng::core {
+
+struct DhTrngNetlist {
+  sim::Circuit circuit;
+  std::vector<std::size_t> sample_dffs;  ///< the 12 ring-sampling DFFs
+  std::size_t out_dff = 0;               ///< final output register
+  std::size_t feedback_dff = 0;          ///< feedback register
+  sim::NetId out_net = sim::kInvalidNet;
+  sim::NetId enable_net = sim::kInvalidNet;
+  sim::NetId clock_net = sim::kInvalidNet;
+  /// Packing groups in the paper's type-constrained layout.
+  std::vector<fpga::PackGroup> pack_groups;
+};
+
+/// Build the DH-TRNG netlist for `device` with sampling clock `clock_mhz`.
+/// `coupling` / `feedback` correspond to the Section 3.2 strategies and are
+/// exposed for the ablation experiments (disabling coupling turns the
+/// central rings into fixed-mode oscillators; disabling feedback ties the
+/// feedback line low).
+DhTrngNetlist build_dhtrng_netlist(const fpga::DeviceModel& device,
+                                   double clock_mhz, bool coupling = true,
+                                   bool feedback = true);
+
+/// Gate-level netlist of the classic parallel-XOR RO TRNG (the Table 1
+/// baseline): `rings` ring oscillators of `stages` elements, each sampled
+/// by a DFF, XOR-reduced into an output register.
+struct XorRoNetlist {
+  sim::Circuit circuit;
+  std::vector<std::size_t> sampler_dffs;
+  std::size_t out_dff = 0;
+  sim::NetId out_net = sim::kInvalidNet;
+  sim::NetId clock_net = sim::kInvalidNet;
+};
+
+XorRoNetlist build_xor_ro_netlist(const fpga::DeviceModel& device,
+                                  int stages, int rings, double clock_mhz);
+
+}  // namespace dhtrng::core

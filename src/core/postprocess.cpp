@@ -1,0 +1,73 @@
+#include "core/postprocess.h"
+
+#include <stdexcept>
+
+#include "support/sha256.h"
+
+namespace dhtrng::core {
+
+support::BitStream von_neumann_extract(const support::BitStream& raw) {
+  support::BitStream out;
+  out.reserve(raw.size() / 4);
+  for (std::size_t i = 0; i + 1 < raw.size(); i += 2) {
+    const bool a = raw[i];
+    const bool b = raw[i + 1];
+    if (a != b) out.push_back(a);  // 01 -> 0, 10 -> 1
+  }
+  return out;
+}
+
+support::BitStream peres_extract(const support::BitStream& raw,
+                                 std::size_t depth) {
+  if (depth == 0 || raw.size() < 2) return {};
+  support::BitStream out;
+  support::BitStream xors;       // a_i ^ b_i per pair (recursed)
+  support::BitStream discards;   // value of each equal pair (recursed)
+  out.reserve(raw.size() / 4);
+  xors.reserve(raw.size() / 2);
+  for (std::size_t i = 0; i + 1 < raw.size(); i += 2) {
+    const bool a = raw[i];
+    const bool b = raw[i + 1];
+    xors.push_back(a != b);
+    if (a != b) {
+      out.push_back(a);
+    } else {
+      discards.push_back(a);
+    }
+  }
+  out.append(peres_extract(xors, depth - 1));
+  out.append(peres_extract(discards, depth - 1));
+  return out;
+}
+
+support::BitStream xor_compress(const support::BitStream& raw,
+                                std::size_t fold) {
+  if (fold == 0) throw std::invalid_argument("xor_compress: fold == 0");
+  support::BitStream out;
+  out.reserve(raw.size() / fold);
+  for (std::size_t i = 0; i + fold <= raw.size(); i += fold) {
+    bool acc = false;
+    for (std::size_t j = 0; j < fold; ++j) acc ^= raw[i + j];
+    out.push_back(acc);
+  }
+  return out;
+}
+
+support::BitStream sha256_condition(const support::BitStream& raw,
+                                    std::size_t input_block_bits) {
+  if (input_block_bits == 0) {
+    throw std::invalid_argument("sha256_condition: empty input block");
+  }
+  support::BitStream out;
+  for (std::size_t begin = 0; begin + input_block_bits <= raw.size();
+       begin += input_block_bits) {
+    const auto block = raw.slice(begin, input_block_bits);
+    const auto digest = support::Sha256::hash(block.to_bytes());
+    for (std::uint8_t byte : digest) {
+      for (int bit = 7; bit >= 0; --bit) out.push_back((byte >> bit) & 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace dhtrng::core

@@ -1,0 +1,16 @@
+#include "core/trng.h"
+
+namespace dhtrng::core {
+
+void TrngSource::generate(support::BitStream& out, std::size_t nbits) {
+  out.reserve(out.size() + nbits);
+  for (std::size_t i = 0; i < nbits; ++i) out.push_back(next_bit());
+}
+
+support::BitStream TrngSource::generate(std::size_t nbits) {
+  support::BitStream bs;
+  generate(bs, nbits);
+  return bs;
+}
+
+}  // namespace dhtrng::core

@@ -1,0 +1,71 @@
+#include "fpga/device.h"
+
+#include <algorithm>
+
+namespace dhtrng::fpga {
+
+double DeviceModel::max_clock_mhz(int logic_levels,
+                                  const noise::PvtCondition& pvt) const {
+  const double scale = scaling(pvt).delay;
+  const double path_ps =
+      (ff_clk_to_q_ps +
+       static_cast<double>(logic_levels) * (lut_delay_ps + net_delay_ps) +
+       ff_setup_ps) *
+      scale;
+  return std::min(1e6 / path_ps, pll_max_mhz);
+}
+
+DeviceModel DeviceModel::virtex6() {
+  DeviceModel d;
+  d.name = "Virtex-6";
+  d.part = "xc6vlx240t";
+  d.process_nm = 45;
+  // Calibrated so the 2-LUT-level sampling path gives ~670 MHz (paper 4.6).
+  d.lut_delay_ps = 180.0;
+  d.mux_delay_ps = 110.0;
+  d.net_delay_ps = 375.0;
+  d.ff_clk_to_q_ps = 300.0;
+  d.ff_setup_ps = 80.0;
+  d.ff_aperture_sigma_ps = 15.0;
+  d.ff_resolution_mean_ps = 80.0;
+  d.nominal_voltage_v = 1.0;
+  d.vth_v = 0.42;
+  d.alpha = 1.35;
+  // 45 nm: larger devices, slightly more thermal jitter per cell.
+  d.gate_jitter = {1.5, 0.6, 0.45};
+  // Power: V6 static + MMCM-dominated dynamic; total ~0.126 W for DH-TRNG.
+  d.static_power_w = 0.025;
+  d.pll_power_w_per_mhz = 1.40e-4;
+  d.node_cap_pf = 0.16;
+  d.clock_cap_pf_per_ff = 0.10;
+  d.pll_max_mhz = 900.0;
+  return d;
+}
+
+DeviceModel DeviceModel::artix7() {
+  DeviceModel d;
+  d.name = "Artix-7";
+  d.part = "xc7a100t";
+  d.process_nm = 28;
+  // Calibrated so the 2-LUT-level sampling path gives ~620 MHz (paper 4.6).
+  d.lut_delay_ps = 150.0;
+  d.mux_delay_ps = 90.0;
+  d.net_delay_ps = 480.0;
+  d.ff_clk_to_q_ps = 280.0;
+  d.ff_setup_ps = 70.0;
+  d.ff_aperture_sigma_ps = 12.0;
+  d.ff_resolution_mean_ps = 60.0;
+  d.nominal_voltage_v = 1.0;
+  d.vth_v = 0.38;
+  d.alpha = 1.30;
+  d.gate_jitter = {1.2, 0.5, 0.4};
+  // Power: total ~0.068 W for DH-TRNG at 620 MHz.
+  d.static_power_w = 0.012;
+  d.pll_power_w_per_mhz = 8.0e-5;
+  d.node_cap_pf = 0.12;
+  d.clock_cap_pf_per_ff = 0.08;
+  d.pll_max_mhz = 800.0;
+  return d;
+}
+
+}  // namespace dhtrng::fpga

@@ -1,0 +1,46 @@
+#include "fpga/power.h"
+
+#include <cmath>
+
+namespace dhtrng::fpga {
+
+PowerBreakdown estimate_power(const DeviceModel& device,
+                              const ActivityEstimate& activity,
+                              const noise::PvtCondition& pvt) {
+  PowerBreakdown p;
+  const double v = pvt.voltage_v;
+  const double v_ratio2 = (v * v) / (device.nominal_voltage_v *
+                                     device.nominal_voltage_v);
+  // Leakage: linear in V, ~1.5x per 50 degC (very first-order).
+  const double leak_t = std::pow(1.5, (pvt.temperature_c - 20.0) / 50.0);
+  p.static_w = device.static_power_w * (v / device.nominal_voltage_v) * leak_t;
+
+  p.pll_w = device.pll_power_w_per_mhz * activity.clock_mhz * v_ratio2;
+
+  // C (pF) * V^2 * f (MHz) => W * 1e-6.
+  p.clock_tree_w = device.clock_cap_pf_per_ff * v * v *
+                   activity.clock_mhz *
+                   static_cast<double>(activity.flip_flops) * 1e-6;
+
+  // C (pF) * V^2 * toggles (GHz) => W * 1e-3.
+  p.logic_w = device.node_cap_pf * v * v * activity.logic_toggle_ghz * 1e-3;
+
+  return p;
+}
+
+ActivityEstimate activity_from_simulation(const sim::Simulator& simulator,
+                                          double clock_mhz,
+                                          std::size_t flip_flops) {
+  ActivityEstimate a;
+  a.clock_mhz = clock_mhz;
+  a.flip_flops = flip_flops;
+  const double elapsed_ps = simulator.now();
+  if (elapsed_ps > 0.0) {
+    // toggles per ps == THz; scale to GHz.
+    a.logic_toggle_ghz =
+        static_cast<double>(simulator.total_toggles()) / elapsed_ps * 1e3;
+  }
+  return a;
+}
+
+}  // namespace dhtrng::fpga

@@ -1,0 +1,94 @@
+#include "fpga/slice_packer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace dhtrng::fpga {
+
+std::size_t SliceReport::total_luts() const {
+  std::size_t n = 0;
+  for (const auto& s : slices_) n += s.luts_used;
+  return n;
+}
+
+std::size_t SliceReport::total_muxes() const {
+  std::size_t n = 0;
+  for (const auto& s : slices_) n += s.muxes_used;
+  return n;
+}
+
+std::size_t SliceReport::total_dffs() const {
+  std::size_t n = 0;
+  for (const auto& s : slices_) n += s.dffs_used;
+  return n;
+}
+
+std::string SliceReport::to_string() const {
+  std::ostringstream os;
+  os << "slice  (x,y)  group                 LUT MUX FF\n";
+  for (std::size_t i = 0; i < slices_.size(); ++i) {
+    const auto& s = slices_[i];
+    os << "  " << i << "     (" << s.x << "," << s.y << ")  ";
+    os.width(22);
+    os << std::left << s.group << std::right
+       << (s.luts_used - s.mux_luts_used) << "   " << s.muxes_used << "   "
+       << s.dffs_used << "\n";
+  }
+  os << "total slices: " << slices_.size() << "\n";
+  return os.str();
+}
+
+SliceReport SlicePacker::pack(const std::vector<PackGroup>& groups,
+                              int origin_x, int origin_y) const {
+  SliceReport report;
+  for (const PackGroup& g : groups) {
+    std::size_t luts = g.luts;
+    std::size_t muxes = g.muxes;
+    std::size_t dffs = g.dffs;
+    while (luts > 0 || muxes > 0 || dffs > 0) {
+      PackedSlice s;
+      s.group = g.name;
+      // MUXF7s first: each must be co-located with the two LUT6s of the
+      // group that drive it, so it pins two of the group's LUTs into this
+      // slice's LUT positions.
+      const std::size_t take_mux = std::min(muxes, limits_.muxf7_per_slice);
+      s.muxes_used = take_mux;
+      s.mux_luts_used = std::min(2 * take_mux, luts);
+      s.luts_used = s.mux_luts_used;
+      luts -= s.mux_luts_used;
+      muxes -= take_mux;
+      // Fill remaining LUT positions with the group's other LUTs.
+      const std::size_t lut_room = limits_.luts_per_slice - s.luts_used;
+      const std::size_t take_lut = std::min(luts, lut_room);
+      s.luts_used += take_lut;
+      luts -= take_lut;
+      // Flip-flops.
+      const std::size_t take_ff = std::min(dffs, limits_.ffs_per_slice);
+      s.dffs_used = take_ff;
+      dffs -= take_ff;
+      report.slices_.push_back(s);
+    }
+  }
+  // Near-square placement: side = ceil(sqrt(n)), row-major from the origin.
+  const std::size_t n = report.slices_.size();
+  if (n > 0) {
+    const int side = static_cast<int>(
+        std::ceil(std::sqrt(static_cast<double>(n))));
+    for (std::size_t i = 0; i < n; ++i) {
+      report.slices_[i].x = origin_x + static_cast<int>(i) % side;
+      report.slices_[i].y = origin_y + static_cast<int>(i) / side;
+    }
+  }
+  return report;
+}
+
+SliceReport SlicePacker::pack(const sim::Circuit& circuit,
+                              const std::string& name, int origin_x,
+                              int origin_y) const {
+  const sim::ResourceCounts rc = circuit.resources();
+  return pack({PackGroup{name, rc.luts, rc.muxes, rc.dffs}}, origin_x,
+              origin_y);
+}
+
+}  // namespace dhtrng::fpga

@@ -1,0 +1,80 @@
+// Slice packing and placement for Xilinx 6/7-series CLBs.
+//
+// A slice provides four 6-input LUTs, three local multiplexers (two MUXF7
+// plus one MUXF8) and eight flip-flops.  A generic 2:1 mux is implemented as
+// a MUXF7, which combines the outputs of the two LUT6s *in the same slice* —
+// so each mux consumes one F7 slot and two co-located LUT slots.  This is
+// the constraint that makes the paper's inventory (23 LUTs + 4 MUXs +
+// 14 DFFs) pack into exactly 8 slices (Section 3.3, Figure 5(b)).
+//
+// The packer works on *groups* (the paper constrains cells "by type to an
+// appropriate position in a compact square slice array"): each group packs
+// into its own whole slices, then the slices are placed on a near-square
+// grid anchored at a caller-supplied origin.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/circuit.h"
+
+namespace dhtrng::fpga {
+
+struct PackGroup {
+  std::string name;
+  std::size_t luts = 0;
+  std::size_t muxes = 0;
+  std::size_t dffs = 0;
+};
+
+struct PackedSlice {
+  std::string group;
+  std::size_t luts_used = 0;       ///< total LUT slots in use
+  std::size_t mux_luts_used = 0;   ///< LUT slots consumed by MUXF7 pairing
+  std::size_t muxes_used = 0;
+  std::size_t dffs_used = 0;
+  int x = 0;  ///< placement coordinates on the square array
+  int y = 0;
+};
+
+struct SliceLimits {
+  std::size_t luts_per_slice = 4;
+  std::size_t muxf7_per_slice = 2;
+  std::size_t ffs_per_slice = 8;
+};
+
+class SliceReport {
+ public:
+  const std::vector<PackedSlice>& slices() const { return slices_; }
+  std::size_t slice_count() const { return slices_.size(); }
+  std::size_t total_luts() const;
+  std::size_t total_muxes() const;
+  std::size_t total_dffs() const;
+  /// Human-readable placement table (Figure 5(b) style).
+  std::string to_string() const;
+
+  friend class SlicePacker;
+
+ private:
+  std::vector<PackedSlice> slices_;
+};
+
+class SlicePacker {
+ public:
+  explicit SlicePacker(SliceLimits limits = {}) : limits_(limits) {}
+
+  /// Pack each group into fresh slices (greedy, maximal fill) and place the
+  /// result on a near-square grid anchored at (origin_x, origin_y).
+  SliceReport pack(const std::vector<PackGroup>& groups, int origin_x = 0,
+                   int origin_y = 0) const;
+
+  /// Convenience: pack a whole netlist as a single unconstrained group.
+  SliceReport pack(const sim::Circuit& circuit, const std::string& name,
+                   int origin_x = 0, int origin_y = 0) const;
+
+ private:
+  SliceLimits limits_;
+};
+
+}  // namespace dhtrng::fpga

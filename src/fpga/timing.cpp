@@ -1,0 +1,140 @@
+#include "fpga/timing.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+namespace dhtrng::fpga {
+
+namespace {
+
+struct Arrival {
+  double delay = -1.0;  // longest combinational delay to this net
+  std::size_t levels = 0;
+  sim::NetId from = sim::kInvalidNet;  // predecessor net on the longest path
+};
+
+}  // namespace
+
+namespace {
+
+/// Nets on combinational cycles (the oscillator loops).  Real STA treats
+/// loops as cut/false paths — they are asynchronous sources, not
+/// register-to-register timing arcs.  Detected by iteratively peeling
+/// nets with no remaining combinational fan-in (Kahn); leftovers are
+/// cyclic.
+std::vector<bool> cyclic_nets(const sim::Circuit& circuit) {
+  const auto& gates = circuit.gates();
+  const std::size_t nets = circuit.net_count();
+  // In-degree of each gate = number of its inputs that are gate-driven and
+  // not yet resolved; a net is "resolved" when its driver (if any) is.
+  std::vector<int> driver_gate(nets, -1);
+  for (std::size_t g = 0; g < gates.size(); ++g) {
+    driver_gate[gates[g].output] = static_cast<int>(g);
+  }
+  std::vector<bool> gate_done(gates.size(), false);
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t g = 0; g < gates.size(); ++g) {
+      if (gate_done[g]) continue;
+      bool ready = true;
+      for (sim::NetId in : gates[g].inputs) {
+        const int d = driver_gate[in];
+        if (d >= 0 && !gate_done[static_cast<std::size_t>(d)]) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        gate_done[g] = true;
+        progress = true;
+      }
+    }
+  }
+  std::vector<bool> cyclic(nets, false);
+  for (std::size_t g = 0; g < gates.size(); ++g) {
+    if (!gate_done[g]) cyclic[gates[g].output] = true;
+  }
+  return cyclic;
+}
+
+}  // namespace
+
+TimingReport analyze_timing(const sim::Circuit& circuit,
+                            const DeviceModel& device) {
+  const auto& gates = circuit.gates();
+  const std::size_t nets = circuit.net_count();
+  const std::vector<bool> cyclic = cyclic_nets(circuit);
+
+  // Longest-path DP over the acyclic combinational subgraph, seeded at
+  // flip-flop outputs; gates inside loops are cut.
+  std::vector<Arrival> arrival(nets);
+  for (const sim::Dff& ff : circuit.dffs()) {
+    arrival[ff.q].delay = 0.0;
+  }
+
+  for (std::size_t iter = 0; iter < gates.size() + 1; ++iter) {
+    bool changed = false;
+    for (const sim::Gate& g : gates) {
+      if (cyclic[g.output]) continue;  // loop gate: cut
+      double best = -1.0;
+      std::size_t best_levels = 0;
+      sim::NetId best_from = sim::kInvalidNet;
+      for (sim::NetId in : g.inputs) {
+        if (cyclic[in] || arrival[in].delay < 0.0) continue;
+        if (arrival[in].delay > best) {
+          best = arrival[in].delay;
+          best_levels = arrival[in].levels;
+          best_from = in;
+        }
+      }
+      if (best < 0.0) continue;
+      const double out_delay = best + g.delay_ps;
+      if (out_delay > arrival[g.output].delay + 1e-12) {
+        arrival[g.output] = {out_delay, best_levels + 1, best_from};
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  TimingReport report;
+  for (const sim::Dff& ff : circuit.dffs()) {
+    if (cyclic[ff.d] || arrival[ff.d].delay < 0.0) continue;
+    const double total =
+        device.ff_clk_to_q_ps + arrival[ff.d].delay + device.ff_setup_ps;
+    if (total > report.critical.delay_ps) {
+      report.critical.delay_ps = total;
+      report.critical.logic_levels = arrival[ff.d].levels;
+      // Reconstruct the net chain.
+      report.critical.nets.clear();
+      sim::NetId net = ff.d;
+      while (net != sim::kInvalidNet) {
+        report.critical.nets.push_back(net);
+        net = arrival[net].from;
+      }
+      std::reverse(report.critical.nets.begin(), report.critical.nets.end());
+    }
+  }
+  if (report.critical.delay_ps > 0.0) {
+    report.max_clock_mhz =
+        std::min(1e6 / report.critical.delay_ps, device.pll_max_mhz);
+  }
+  return report;
+}
+
+std::string TimingReport::to_string(const sim::Circuit& circuit) const {
+  std::ostringstream os;
+  os << "critical path: " << critical.delay_ps << " ps across "
+     << critical.logic_levels << " logic levels -> max clock "
+     << max_clock_mhz << " MHz\n  ";
+  for (std::size_t i = 0; i < critical.nets.size(); ++i) {
+    if (i != 0) os << " -> ";
+    os << circuit.net_name(critical.nets[i]);
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace dhtrng::fpga

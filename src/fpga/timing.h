@@ -1,0 +1,45 @@
+// Static timing analysis (STA-lite) over the simulator netlist.
+//
+// Finds the slowest register-to-register path: clk-to-Q at a launching
+// flip-flop, the longest combinational gate chain (each gate's nominal
+// delay plus a routed-net delay per hop), and setup at the capturing
+// flip-flop.  This replaces the hand-assumed "2 LUT levels" figure in
+// DeviceModel::max_clock_mhz with a number derived from the actual
+// circuit, and the tests pin the DH-TRNG sampling array to exactly the
+// 2-level structure the paper's 620/670 MHz clocks imply.
+//
+// Combinational loops (the rings!) are excluded by construction: paths are
+// only traced from flip-flop outputs to flip-flop data inputs, and a
+// depth-first search that re-enters a net on the current path stops there
+// (a looped net can never be part of a register-to-register timing path).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fpga/device.h"
+#include "sim/circuit.h"
+
+namespace dhtrng::fpga {
+
+struct TimingPath {
+  double delay_ps = 0.0;          ///< total clk-to-q + logic + setup
+  std::size_t logic_levels = 0;   ///< gates on the path
+  std::vector<sim::NetId> nets;   ///< launching Q ... capturing D
+};
+
+struct TimingReport {
+  TimingPath critical;
+  double max_clock_mhz = 0.0;
+  std::string to_string(const sim::Circuit& circuit) const;
+};
+
+/// Analyze register-to-register paths of `circuit` on `device`.
+/// Gate delays are taken from the netlist (they already encode the device's
+/// cell + local-net delays); the flip-flop clk-to-q / setup come from the
+/// device model.
+TimingReport analyze_timing(const sim::Circuit& circuit,
+                            const DeviceModel& device);
+
+}  // namespace dhtrng::fpga

@@ -1,0 +1,35 @@
+#include "noise/flicker.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace dhtrng::noise {
+
+FlickerNoise::FlickerNoise(double amplitude, int octaves, std::uint64_t seed)
+    : amplitude_(amplitude), rng_(seed) {
+  if (octaves < 1 || octaves > 62) {
+    throw std::invalid_argument("FlickerNoise: octaves out of range");
+  }
+  rows_.resize(static_cast<std::size_t>(octaves));
+  for (auto& r : rows_) r = rng_.gaussian(0.0, amplitude_);
+}
+
+double FlickerNoise::next() {
+  // Row k is refreshed when bit k is the lowest set bit of the counter, so
+  // row k changes once every 2^(k+1) samples: the classic pink-noise lattice.
+  ++counter_;
+  const int row = std::countr_zero(counter_);
+  if (row < static_cast<int>(rows_.size())) {
+    rows_[static_cast<std::size_t>(row)] = rng_.gaussian(0.0, amplitude_);
+  }
+  double sum = 0.0;
+  for (double r : rows_) sum += r;
+  return sum;
+}
+
+double FlickerNoise::marginal_sigma() const {
+  return amplitude_ * std::sqrt(static_cast<double>(rows_.size()));
+}
+
+}  // namespace dhtrng::noise

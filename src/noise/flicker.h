@@ -1,0 +1,43 @@
+// 1/f (flicker) noise process.
+//
+// Ring-oscillator jitter has two components: white (thermal / shot) noise,
+// whose phase contribution accumulates as sqrt(time), and flicker noise,
+// which is strongly correlated across edges and accumulates faster.  The
+// flicker component matters for the reproduction because its correlation
+// makes it *non-entropic* over short horizons — attackers can track it — so
+// the entropy model must separate it from the white component.
+//
+// Implemented as the Voss–McCartney algorithm: the sum of `octaves`
+// independent white sources, source k being resampled every 2^k steps.
+// The spectrum approximates 1/f over ~`octaves` decades of frequency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace dhtrng::noise {
+
+class FlickerNoise {
+ public:
+  /// `amplitude` is the standard deviation of each octave source; the total
+  /// sample std-dev is amplitude * sqrt(octaves).
+  FlickerNoise(double amplitude, int octaves, std::uint64_t seed);
+
+  /// Next correlated sample.
+  double next();
+
+  /// Std-dev of the marginal distribution of samples.
+  double marginal_sigma() const;
+
+  int octaves() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  double amplitude_;
+  std::vector<double> rows_;
+  std::uint64_t counter_ = 0;
+  support::Xoshiro256 rng_;
+};
+
+}  // namespace dhtrng::noise

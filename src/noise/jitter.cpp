@@ -1,0 +1,38 @@
+#include "noise/jitter.h"
+
+#include <cmath>
+
+namespace dhtrng::noise {
+
+SharedSupplyNoise::SharedSupplyNoise(double sigma_ps, std::uint64_t seed,
+                                     double correlation)
+    : sigma_(sigma_ps), rho_(correlation), rng_(seed) {}
+
+double SharedSupplyNoise::step() {
+  // AR(1) with stationary sigma equal to sigma_: x' = rho x + sqrt(1-rho^2) w.
+  const double innovation = std::sqrt(1.0 - rho_ * rho_) * sigma_;
+  value_ = rho_ * value_ + rng_.gaussian(0.0, innovation);
+  return value_;
+}
+
+EdgeJitterSource::EdgeJitterSource(const JitterParams& params,
+                                   std::uint64_t seed,
+                                   SharedSupplyNoise* shared)
+    : params_(params),
+      rng_(seed),
+      // 12 octaves spans ~4 decades of 1/f; amplitude chosen so the marginal
+      // sigma equals flicker_sigma_ps.
+      flicker_(params.flicker_sigma_ps / std::sqrt(12.0), 12, seed ^ 0x9e3779b97f4a7c15ULL),
+      shared_(shared) {}
+
+double EdgeJitterSource::next_edge_jitter(const PvtScaling& scale) {
+  double jitter = rng_.gaussian(0.0, params_.white_sigma_ps * scale.white_jitter);
+  jitter += flicker_.next() * scale.correlated_noise;
+  if (shared_ != nullptr) {
+    jitter += shared_->step() * scale.correlated_noise *
+              (params_.correlated_sigma_ps > 0.0 ? 1.0 : 0.0);
+  }
+  return jitter;
+}
+
+}  // namespace dhtrng::noise

@@ -1,0 +1,72 @@
+// Per-edge jitter model for gates and ring oscillators.
+//
+// Each logic transition in the event-driven simulator (and each accumulated
+// sampling interval in the fast phase-domain models) receives a delay
+// perturbation with three components:
+//
+//   * white:      independent Gaussian per edge — the entropy-bearing part;
+//   * flicker:    1/f-correlated across edges — slow wander, low entropy;
+//   * correlated: shared across *all* sources of a device (supply ripple,
+//                 substrate coupling) — adversarially observable, zero
+//                 entropy, and the main randomness spoiler at PVT corners.
+//
+// Sigmas are in picoseconds at the nominal corner; a PvtScaling rescales
+// them per experiment.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "noise/flicker.h"
+#include "noise/pvt.h"
+#include "support/rng.h"
+
+namespace dhtrng::noise {
+
+struct JitterParams {
+  double white_sigma_ps = 1.0;      ///< per-edge white jitter sigma
+  double flicker_sigma_ps = 0.5;    ///< marginal sigma of the flicker process
+  double correlated_sigma_ps = 0.3; ///< sigma of the shared supply component
+};
+
+/// The device-wide shared noise source (one per simulated "chip").
+/// Sources sample it once per edge; it evolves as a slow AR(1) process.
+class SharedSupplyNoise {
+ public:
+  SharedSupplyNoise(double sigma_ps, std::uint64_t seed,
+                    double correlation = 0.995);
+
+  /// Advance one step and return the current value (ps).
+  double step();
+  double current() const { return value_; }
+
+ private:
+  double sigma_;
+  double rho_;
+  double value_ = 0.0;
+  support::Xoshiro256 rng_;
+};
+
+/// Per-source edge jitter generator.
+class EdgeJitterSource {
+ public:
+  EdgeJitterSource(const JitterParams& params, std::uint64_t seed,
+                   SharedSupplyNoise* shared = nullptr);
+
+  /// Delay perturbation (ps) for the next transition, with PVT scaling
+  /// applied to the component sigmas.
+  double next_edge_jitter(const PvtScaling& scale);
+
+  /// Same at the nominal corner.
+  double next_edge_jitter() { return next_edge_jitter({1.0, 1.0, 1.0}); }
+
+  const JitterParams& params() const { return params_; }
+
+ private:
+  JitterParams params_;
+  support::Xoshiro256 rng_;
+  FlickerNoise flicker_;
+  SharedSupplyNoise* shared_;
+};
+
+}  // namespace dhtrng::noise

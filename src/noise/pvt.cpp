@@ -1,0 +1,40 @@
+#include "noise/pvt.h"
+
+#include <cmath>
+
+namespace dhtrng::noise {
+
+namespace {
+
+constexpr double kNominalTempC = 20.0;
+constexpr double kNominalVoltage = 1.0;
+constexpr double kKelvinOffset = 273.15;
+// Mobility temperature exponent: delay grows ~ (T/T0)^1.3 at fixed V.
+constexpr double kMobilityExponent = 1.3;
+
+}  // namespace
+
+PvtScaling pvt_scaling(const PvtCondition& pvt, double vth_v, double alpha) {
+  const double t_k = pvt.temperature_c + kKelvinOffset;
+  const double t0_k = kNominalTempC + kKelvinOffset;
+
+  // Alpha-power law delay, normalized to the nominal corner.
+  const auto drive = [&](double v) {
+    return v / std::pow(std::max(v - vth_v, 0.05), alpha);
+  };
+  const double delay = (drive(pvt.voltage_v) / drive(kNominalVoltage)) *
+                       std::pow(t_k / t0_k, kMobilityExponent);
+
+  // Thermal jitter sigma ~ sqrt(kT) and rides on the (scaled) delay.
+  const double white = std::sqrt(t_k / t0_k) * delay;
+
+  // Correlated-noise share grows away from the nominal corner (supply
+  // regulation and bias-point sensitivity); quadratic bowl, floor of 1.
+  const double dv = (pvt.voltage_v - kNominalVoltage) / 0.2;  // per 0.2 V
+  const double dt = (pvt.temperature_c - kNominalTempC) / 50.0;  // per 50 degC
+  const double correlated = (1.0 + 0.55 * dv * dv + 0.35 * dt * dt) * delay;
+
+  return {delay, white, correlated};
+}
+
+}  // namespace dhtrng::noise

@@ -1,0 +1,38 @@
+// Process / Voltage / Temperature condition and first-order scaling laws.
+//
+// This is the software stand-in for the paper's experimental platform
+// (Figure 6: temperature chamber −20…80 °C and programmable DC supply
+// 0.8…1.2 V).  The scaling laws are first-order device physics:
+//
+//  * Gate delay follows the alpha-power MOSFET law, delay ∝ V / (V − Vth)^α,
+//    and increases weakly with temperature through mobility degradation.
+//  * White (thermal) jitter power is ∝ kT, so sigma ∝ sqrt(T_kelvin), and
+//    scales with the delay it perturbs.
+//  * Away from the nominal corner, the *correlated* (supply / coupling)
+//    noise share rises — supply regulation is poorest at the voltage rails
+//    and charge-pump/regulator ripple grows with |ΔT| — which is what makes
+//    measured min-entropy dip slightly at the corners of Figure 9 even
+//    though raw jitter grows.
+#pragma once
+
+namespace dhtrng::noise {
+
+struct PvtCondition {
+  double temperature_c = 20.0;  ///< ambient, in degrees Celsius
+  double voltage_v = 1.0;       ///< core supply, in volts
+
+  static PvtCondition nominal() { return {}; }
+};
+
+struct PvtScaling {
+  double delay;             ///< multiplies all nominal gate/net delays
+  double white_jitter;      ///< multiplies the white edge-jitter sigma
+  double correlated_noise;  ///< multiplies the correlated (non-entropic) noise
+};
+
+/// First-order PVT scale factors relative to the nominal corner
+/// (20 degC, 1.0 V).  `vth_v` and `alpha` are process parameters supplied by
+/// the device model (they differ between 45 nm and 28 nm).
+PvtScaling pvt_scaling(const PvtCondition& pvt, double vth_v, double alpha);
+
+}  // namespace dhtrng::noise

@@ -1,0 +1,146 @@
+#include "sim/circuit.h"
+
+#include <stdexcept>
+
+namespace dhtrng::sim {
+
+const char* gate_kind_name(GateKind kind) {
+  switch (kind) {
+    case GateKind::Inv: return "INV";
+    case GateKind::Buf: return "BUF";
+    case GateKind::And: return "AND";
+    case GateKind::Nand: return "NAND";
+    case GateKind::Or: return "OR";
+    case GateKind::Nor: return "NOR";
+    case GateKind::Xor: return "XOR";
+    case GateKind::Xnor: return "XNOR";
+    case GateKind::Mux2: return "MUX2";
+  }
+  return "?";
+}
+
+bool evaluate_gate(GateKind kind, const std::vector<bool>& in) {
+  switch (kind) {
+    case GateKind::Inv: return !in[0];
+    case GateKind::Buf: return in[0];
+    case GateKind::And: {
+      for (bool b : in) if (!b) return false;
+      return true;
+    }
+    case GateKind::Nand: {
+      for (bool b : in) if (!b) return true;
+      return false;
+    }
+    case GateKind::Or: {
+      for (bool b : in) if (b) return true;
+      return false;
+    }
+    case GateKind::Nor: {
+      for (bool b : in) if (b) return false;
+      return true;
+    }
+    case GateKind::Xor: {
+      bool acc = false;
+      for (bool b : in) acc ^= b;
+      return acc;
+    }
+    case GateKind::Xnor: {
+      bool acc = true;
+      for (bool b : in) acc ^= b;
+      return acc;
+    }
+    case GateKind::Mux2: return in[0] ? in[2] : in[1];
+  }
+  return false;
+}
+
+NetId Circuit::add_net(std::string name) {
+  if (net_index_.contains(name)) {
+    throw std::logic_error("Circuit: duplicate net name: " + name);
+  }
+  const NetId id = static_cast<NetId>(net_names_.size());
+  net_index_.emplace(name, id);
+  net_names_.push_back(std::move(name));
+  initial_.push_back(false);
+  return id;
+}
+
+NetId Circuit::net(const std::string& name) const {
+  const auto it = net_index_.find(name);
+  if (it == net_index_.end()) {
+    throw std::logic_error("Circuit: unknown net: " + name);
+  }
+  return it->second;
+}
+
+std::size_t Circuit::add_gate(GateKind kind, std::vector<NetId> inputs,
+                              NetId output, double delay_ps) {
+  const std::size_t min_inputs = (kind == GateKind::Mux2)  ? 3
+                                 : (kind == GateKind::Inv ||
+                                    kind == GateKind::Buf) ? 1
+                                                           : 2;
+  if (inputs.size() < min_inputs) {
+    throw std::logic_error("Circuit::add_gate: too few inputs");
+  }
+  if ((kind == GateKind::Inv || kind == GateKind::Buf) && inputs.size() != 1) {
+    throw std::logic_error("Circuit::add_gate: unary gate arity");
+  }
+  if (kind == GateKind::Mux2 && inputs.size() != 3) {
+    throw std::logic_error("Circuit::add_gate: Mux2 needs {sel, in0, in1}");
+  }
+  if (delay_ps <= 0.0) {
+    throw std::logic_error("Circuit::add_gate: delay must be positive");
+  }
+  gates_.push_back(Gate{kind, std::move(inputs), output, delay_ps});
+  return gates_.size() - 1;
+}
+
+std::size_t Circuit::add_dff(NetId clk, NetId d, NetId q, DffTiming timing) {
+  dffs_.push_back(Dff{clk, d, q, timing});
+  return dffs_.size() - 1;
+}
+
+std::size_t Circuit::add_clock(NetId net, double period_ps, double offset_ps,
+                               double duty) {
+  if (period_ps <= 0.0 || duty <= 0.0 || duty >= 1.0) {
+    throw std::logic_error("Circuit::add_clock: bad period/duty");
+  }
+  clocks_.push_back(ClockSpec{net, period_ps, offset_ps, duty});
+  return clocks_.size() - 1;
+}
+
+void Circuit::set_initial(NetId net_id, bool value) {
+  initial_.at(net_id) = value;
+}
+
+ResourceCounts Circuit::resources() const {
+  ResourceCounts rc;
+  for (const Gate& g : gates_) {
+    if (g.kind == GateKind::Mux2) {
+      ++rc.muxes;
+    } else {
+      ++rc.luts;
+    }
+  }
+  rc.dffs = dffs_.size();
+  return rc;
+}
+
+void Circuit::validate() const {
+  std::vector<int> drivers(net_names_.size(), 0);
+  for (const Gate& g : gates_) {
+    ++drivers[g.output];
+    for (NetId in : g.inputs) {
+      if (in >= net_names_.size()) throw std::logic_error("gate input out of range");
+    }
+  }
+  for (const Dff& f : dffs_) ++drivers[f.q];
+  for (const ClockSpec& c : clocks_) ++drivers[c.net];
+  for (std::size_t n = 0; n < drivers.size(); ++n) {
+    if (drivers[n] > 1) {
+      throw std::logic_error("Circuit: net driven more than once: " + net_names_[n]);
+    }
+  }
+}
+
+}  // namespace dhtrng::sim

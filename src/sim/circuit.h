@@ -1,0 +1,107 @@
+// Gate-level netlist for the event-driven simulator.
+//
+// The circuit is a flat netlist of combinational gates, D flip-flops and
+// clock sources connected by single-driver nets.  This is the software
+// substrate standing in for the paper's FPGA fabric: the DH-TRNG, all
+// baseline TRNGs and the unit tests build their topologies through this API,
+// and the FPGA area/power models consume the same netlist for resource
+// accounting (src/fpga).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dhtrng::sim {
+
+using NetId = std::uint32_t;
+inline constexpr NetId kInvalidNet = ~NetId{0};
+
+enum class GateKind { Inv, Buf, And, Nand, Or, Nor, Xor, Xnor, Mux2 };
+
+const char* gate_kind_name(GateKind kind);
+
+/// Evaluate a gate function over its input values.  For Mux2 the input
+/// order is {sel, in0, in1}.
+bool evaluate_gate(GateKind kind, const std::vector<bool>& inputs);
+
+struct Gate {
+  GateKind kind;
+  std::vector<NetId> inputs;
+  NetId output;
+  double delay_ps;
+};
+
+/// Behavioural flip-flop timing parameters (aperture model of Eq. 2).
+struct DffTiming {
+  double clk_to_q_ps = 120.0;
+  /// Sigma of the metastability aperture: a data transition at distance
+  /// delta from the sampling edge is captured with probability
+  /// normal_cdf(delta / aperture_sigma_ps) (paper Eq. 2).
+  double aperture_sigma_ps = 12.0;
+  /// Mean of the exponential extra resolution delay when the sample falls
+  /// inside the aperture.
+  double resolution_mean_ps = 60.0;
+};
+
+struct Dff {
+  NetId clk;
+  NetId d;
+  NetId q;
+  DffTiming timing;
+};
+
+struct ClockSpec {
+  NetId net;
+  double period_ps;
+  double offset_ps;  ///< time of the first rising edge
+  double duty = 0.5;
+};
+
+struct ResourceCounts {
+  std::size_t luts = 0;   ///< gates that map to LUTs
+  std::size_t muxes = 0;  ///< Mux2 gates (MUXF primitives)
+  std::size_t dffs = 0;
+};
+
+class Circuit {
+ public:
+  NetId add_net(std::string name);
+  NetId net(const std::string& name) const;  ///< throws if unknown
+
+  std::size_t add_gate(GateKind kind, std::vector<NetId> inputs, NetId output,
+                       double delay_ps);
+  std::size_t add_dff(NetId clk, NetId d, NetId q, DffTiming timing = {});
+  std::size_t add_clock(NetId net, double period_ps, double offset_ps = 0.0,
+                        double duty = 0.5);
+
+  /// Initial value of a net at t = 0 (default 0).
+  void set_initial(NetId net, bool value);
+
+  std::size_t net_count() const { return net_names_.size(); }
+  const std::string& net_name(NetId id) const { return net_names_[id]; }
+  const std::vector<Gate>& gates() const { return gates_; }
+  const std::vector<Dff>& dffs() const { return dffs_; }
+  const std::vector<ClockSpec>& clocks() const { return clocks_; }
+  const std::vector<bool>& initial_values() const { return initial_; }
+
+  /// FPGA resource inventory: every combinational gate except Mux2 maps to
+  /// one LUT; Mux2 maps to a MUXF primitive; each Dff to one FF.
+  ResourceCounts resources() const;
+
+  /// Single-driver and connectivity validation; throws std::logic_error on
+  /// double-driven or floating driven nets.
+  void validate() const;
+
+ private:
+  std::vector<std::string> net_names_;
+  std::map<std::string, NetId> net_index_;
+  std::vector<bool> initial_;
+  std::vector<Gate> gates_;
+  std::vector<Dff> dffs_;
+  std::vector<ClockSpec> clocks_;
+};
+
+}  // namespace dhtrng::sim

@@ -1,0 +1,213 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "support/special_functions.h"
+
+namespace dhtrng::sim {
+
+namespace {
+constexpr double kMinDelayPs = 0.1;
+constexpr double kReferenceDelayPs = 100.0;
+}  // namespace
+
+Simulator::Simulator(const Circuit& circuit, SimConfig config)
+    : circuit_(circuit),
+      config_(config),
+      value_(circuit.net_count(), 0),
+      projected_(circuit.net_count(), 0),
+      last_change_(circuit.net_count(), -1e18),
+      last_sched_time_(circuit.net_count(), -1.0),
+      last_sched_seq_(circuit.net_count(), 0),
+      toggles_(circuit.net_count(), 0),
+      fanout_gates_(circuit.net_count()),
+      clocked_dffs_(circuit.net_count()),
+      shared_noise_(config.gate_jitter.correlated_sigma_ps,
+                    config.seed ^ 0xabcdef1234567890ULL),
+      meta_rng_(config.seed ^ 0x5bd1e995cafef00dULL),
+      dff_samples_(circuit.dffs().size()),
+      dff_recorded_(circuit.dffs().size(), 0),
+      sample_counts_(circuit.dffs().size(), 0),
+      edge_recorded_(circuit.net_count(), 0),
+      edge_times_(circuit.net_count()) {
+  circuit.validate();
+
+  const auto& initial = circuit.initial_values();
+  for (std::size_t n = 0; n < value_.size(); ++n) {
+    value_[n] = initial[n] ? 1 : 0;
+    projected_[n] = value_[n];
+  }
+
+  support::SplitMix64 seeder(config.seed);
+  gate_noise_.reserve(circuit.gates().size());
+  for (std::size_t g = 0; g < circuit.gates().size(); ++g) {
+    // Longer cells accumulate more noise: white sigma ~ sqrt(delay).
+    noise::JitterParams p = config.gate_jitter;
+    p.white_sigma_ps *=
+        std::sqrt(circuit.gates()[g].delay_ps / kReferenceDelayPs);
+    gate_noise_.emplace_back(p, seeder.next(), &shared_noise_);
+  }
+
+  for (std::size_t g = 0; g < circuit.gates().size(); ++g) {
+    for (NetId in : circuit.gates()[g].inputs) {
+      fanout_gates_[in].push_back(static_cast<std::uint32_t>(g));
+    }
+  }
+  for (std::size_t f = 0; f < circuit.dffs().size(); ++f) {
+    clocked_dffs_[circuit.dffs()[f].clk].push_back(
+        static_cast<std::uint32_t>(f));
+  }
+
+  // Kick-start: schedule first clock edges and settle gates whose output
+  // disagrees with the initial net values (this is what makes inverter
+  // rings begin to oscillate).
+  for (const ClockSpec& c : circuit.clocks()) {
+    schedule(c.net, true, std::max(c.offset_ps, kMinDelayPs));
+  }
+  for (std::size_t g = 0; g < circuit.gates().size(); ++g) {
+    const Gate& gate = circuit.gates()[g];
+    std::vector<bool> ins(gate.inputs.size());
+    for (std::size_t i = 0; i < gate.inputs.size(); ++i) {
+      ins[i] = value_[gate.inputs[i]] != 0;
+    }
+    const bool out = evaluate_gate(gate.kind, ins);
+    if (out != (value_[gate.output] != 0)) {
+      schedule(gate.output, out, gate_delay_with_jitter(g));
+    }
+  }
+}
+
+double Simulator::gate_delay_with_jitter(std::size_t gate_index) {
+  const Gate& gate = circuit_.gates()[gate_index];
+  const double nominal = gate.delay_ps * config_.scaling.delay;
+  const double jitter =
+      gate_noise_[gate_index].next_edge_jitter(config_.scaling);
+  return std::max(nominal + jitter, kMinDelayPs);
+}
+
+void Simulator::schedule(NetId net, bool value, double delay_from_now) {
+  double t = now_ + delay_from_now;
+  // Per-net causal ordering: a later-issued transition may not overtake an
+  // earlier one (jitter could otherwise reorder them).
+  if (t <= last_sched_time_[net]) t = last_sched_time_[net] + kMinDelayPs;
+
+  const bool pending = last_sched_time_[net] > now_;
+  if (pending && (projected_[net] != 0) != value &&
+      value == (value_[net] != 0) &&
+      t - last_sched_time_[net] < config_.min_pulse_ps) {
+    // Runt pulse: the pending transition would be undone before it could
+    // propagate a full pulse width; swallow both (inertial delay).
+    dead_events_.push_back(last_sched_seq_[net]);
+    projected_[net] = value_[net];
+    last_sched_time_[net] = now_;
+    ++runts_filtered_;
+    return;
+  }
+  if ((projected_[net] != 0) == value) return;  // no change to project
+
+  projected_[net] = value ? 1 : 0;
+  last_sched_time_[net] = t;
+  last_sched_seq_[net] = ++seq_;
+  queue_.push(Event{t, seq_, net, value});
+}
+
+void Simulator::run_until(double t_ps) {
+  while (!queue_.empty() && queue_.top().time <= t_ps) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    if (!dead_events_.empty()) {
+      const auto it =
+          std::find(dead_events_.begin(), dead_events_.end(), ev.seq);
+      if (it != dead_events_.end()) {
+        dead_events_.erase(it);
+        continue;
+      }
+    }
+    if (++events_processed_ > config_.max_events) {
+      throw std::runtime_error("Simulator: event budget exhausted");
+    }
+    now_ = ev.time;
+    apply_net_change(ev.net, ev.value);
+  }
+  now_ = std::max(now_, t_ps);
+}
+
+void Simulator::apply_net_change(NetId net, bool value) {
+  if ((value_[net] != 0) == value) return;
+  value_[net] = value ? 1 : 0;
+  last_change_[net] = now_;
+  ++toggles_[net];
+  if (value && edge_recorded_[net]) edge_times_[net].push_back(now_);
+
+  // Clock source nets regenerate their own next edge.
+  for (const ClockSpec& c : circuit_.clocks()) {
+    if (c.net == net) {
+      const double high = c.period_ps * c.duty;
+      const double next = value ? high : c.period_ps - high;
+      schedule(net, !value, next);
+      break;
+    }
+  }
+
+  // Rising clock edge: sample every flip-flop on this clock.
+  if (value) {
+    for (std::uint32_t f : clocked_dffs_[net]) {
+      const Dff& ff = circuit_.dffs()[f];
+      const bool d_now = value_[ff.d] != 0;
+      const double delta = now_ - last_change_[ff.d];
+      const double sigma = ff.timing.aperture_sigma_ps *
+                           std::max(config_.scaling.delay, 1e-9);
+      bool captured = d_now;
+      double extra = 0.0;
+      if (delta < 4.0 * sigma) {
+        // Eq. 2: the probability of capturing the post-transition value is
+        // the normal CDF of the (scaled) distance to the sampling edge.
+        const double p_new = support::normal_cdf(delta / sigma);
+        captured = meta_rng_.bernoulli(p_new) ? d_now : !d_now;
+        extra = meta_rng_.exponential(ff.timing.resolution_mean_ps);
+        ++metastable_samples_;
+      }
+      if (dff_recorded_[f]) {
+        dff_samples_[f].push_back(captured ? 1 : 0);
+      }
+      ++sample_counts_[f];
+      schedule(ff.q, captured,
+               ff.timing.clk_to_q_ps * config_.scaling.delay + extra);
+    }
+  }
+
+  for (std::uint32_t g : fanout_gates_[net]) {
+    const Gate& gate = circuit_.gates()[g];
+    std::vector<bool> ins(gate.inputs.size());
+    for (std::size_t i = 0; i < gate.inputs.size(); ++i) {
+      ins[i] = value_[gate.inputs[i]] != 0;
+    }
+    schedule(gate.output, evaluate_gate(gate.kind, ins),
+             gate_delay_with_jitter(g));
+  }
+}
+
+void Simulator::record_dff(std::size_t dff_index) {
+  dff_recorded_.at(dff_index) = 1;
+}
+
+void Simulator::record_edges(NetId net) { edge_recorded_.at(net) = 1; }
+
+const std::vector<double>& Simulator::edge_times(NetId net) const {
+  return edge_times_.at(net);
+}
+
+const std::vector<std::uint8_t>& Simulator::samples(
+    std::size_t dff_index) const {
+  return dff_samples_.at(dff_index);
+}
+
+std::uint64_t Simulator::total_toggles() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t t : toggles_) total += t;
+  return total;
+}
+
+}  // namespace dhtrng::sim

@@ -1,0 +1,124 @@
+// Event-driven timing simulator with stochastic gate delays.
+//
+// This engine is the substitute for the paper's physical FPGA fabric: each
+// gate transition is perturbed by an EdgeJitterSource (white + flicker +
+// shared-supply noise) and each flip-flop applies the Eq. 2 aperture model
+// on sampling, so jitter- and metastability-based entropy arise from the
+// same mechanisms the paper exploits, only with pseudo-random noise driving
+// them (see DESIGN.md, substitution table).
+//
+// Delays are in picoseconds; the schedule is a strict priority queue with a
+// deterministic tie-break, so a given (circuit, config, seed) triple always
+// reproduces the same waveforms.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "noise/jitter.h"
+#include "noise/pvt.h"
+#include "sim/circuit.h"
+#include "support/rng.h"
+
+namespace dhtrng::sim {
+
+struct SimConfig {
+  std::uint64_t seed = 1;
+  /// Base per-gate jitter at the nominal corner; the white component scales
+  /// with sqrt(delay / 100ps) per gate so longer cells jitter more.
+  noise::JitterParams gate_jitter{1.2, 0.5, 0.4};
+  /// PVT scale factors (from noise::pvt_scaling via the device model).
+  noise::PvtScaling scaling{1.0, 1.0, 1.0};
+  /// Pulses narrower than this are swallowed (inertial delay model).
+  double min_pulse_ps = 5.0;
+  /// Hard stop against runaway zero-delay loops.
+  std::uint64_t max_events = 500'000'000;
+};
+
+class Simulator {
+ public:
+  Simulator(const Circuit& circuit, SimConfig config);
+
+  /// Advance simulated time to t_ps (events at exactly t_ps included).
+  void run_until(double t_ps);
+
+  /// Current simulated time (ps).
+  double now() const { return now_; }
+
+  bool net_value(NetId id) const { return value_[id]; }
+  double last_change_ps(NetId id) const { return last_change_[id]; }
+
+  /// Start recording the sampled bit of a flip-flop at every clock edge.
+  void record_dff(std::size_t dff_index);
+  const std::vector<std::uint8_t>& samples(std::size_t dff_index) const;
+
+  /// Start recording rising-edge timestamps of a net (for period/jitter
+  /// analysis of oscillator nodes).
+  void record_edges(NetId net);
+  const std::vector<double>& edge_times(NetId net) const;
+
+  std::uint64_t toggle_count(NetId id) const { return toggles_[id]; }
+  std::uint64_t total_toggles() const;
+  std::uint64_t events_processed() const { return events_processed_; }
+  /// Number of flip-flop samples that fell inside the metastability
+  /// aperture (a health indicator the hybrid unit deliberately maximizes).
+  std::uint64_t metastable_samples() const { return metastable_samples_; }
+  std::uint64_t dff_sample_count(std::size_t dff_index) const {
+    return sample_counts_[dff_index];
+  }
+  /// Pulses swallowed by the inertial (min_pulse) filter — a glitch-rate
+  /// diagnostic for netlists with reconvergent paths.
+  std::uint64_t runts_filtered() const { return runts_filtered_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    NetId net;
+    bool value;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  void schedule(NetId net, bool value, double delay_from_now);
+  void apply_net_change(NetId net, bool value);
+  double gate_delay_with_jitter(std::size_t gate_index);
+
+  const Circuit& circuit_;
+  SimConfig config_;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t metastable_samples_ = 0;
+  std::uint64_t runts_filtered_ = 0;
+
+  std::vector<std::uint8_t> value_;        // current net values
+  std::vector<std::uint8_t> projected_;    // value after pending events
+  std::vector<double> last_change_;
+  std::vector<double> last_sched_time_;
+  std::vector<std::uint64_t> last_sched_seq_;
+  std::vector<std::uint64_t> toggles_;
+
+  std::vector<std::vector<std::uint32_t>> fanout_gates_;  // net -> gate idx
+  std::vector<std::vector<std::uint32_t>> clocked_dffs_;  // net -> dff idx
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<std::uint64_t> dead_events_;  // cancelled seq numbers (sorted-ish)
+
+  noise::SharedSupplyNoise shared_noise_;
+  std::vector<noise::EdgeJitterSource> gate_noise_;  // one per gate
+  support::Xoshiro256 meta_rng_;                     // metastable resolution
+
+  std::vector<std::vector<std::uint8_t>> dff_samples_;
+  std::vector<std::uint8_t> dff_recorded_;
+  std::vector<std::uint64_t> sample_counts_;
+
+  std::vector<std::uint8_t> edge_recorded_;
+  std::vector<std::vector<double>> edge_times_;
+};
+
+}  // namespace dhtrng::sim

@@ -1,0 +1,48 @@
+// BSI AIS-31 statistical tests T0-T8 (procedures A and B), reproducing the
+// paper's Table 5.
+//
+// Data budget (per the AIS-31 reference procedure):
+//  * T0 uses 2^16 consecutive 48-bit blocks (3,145,728 bits);
+//  * T1-T5 run on up to 257 disjoint sequences of 20,000 bits;
+//  * T6-T8 (procedure B) consume ~2.3 Mbit of additional data.
+// run_all consumes the provided stream front-to-back in that order and
+// reports per-item pass/fail plus the T1-T5 per-sequence pass rates the
+// paper's Table 5 prints as percentages.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "support/bitstream.h"
+
+namespace dhtrng::stats::ais31 {
+
+using support::BitStream;
+
+struct TestOutcome {
+  std::string name;
+  bool pass = false;
+  double pass_rate = 1.0;  ///< fraction of sequences passing (T1-T5); else 1/0
+  std::string detail;
+};
+
+/// Number of bits run_all needs for the full reference procedure.
+std::size_t required_bits();
+
+// Individual tests (operating on the relevant slices, see .cpp).
+bool t0_disjointness(const BitStream& bits);                 // 2^16 x 48 bits
+bool t1_monobit(const BitStream& seq);                       // 20000 bits
+bool t2_poker(const BitStream& seq);                         // 20000 bits
+bool t3_runs(const BitStream& seq);                          // 20000 bits
+bool t4_long_run(const BitStream& seq);                      // 20000 bits
+bool t5_autocorrelation(const BitStream& seq);               // 20000 bits
+bool t6_uniform_distribution(const BitStream& bits, std::string* detail);
+bool t7_homogeneity(const BitStream& bits, std::string* detail);
+bool t8_entropy(const BitStream& bits, double* statistic);   // Coron
+
+/// Full procedure on one long stream (uses required_bits() bits; throws if
+/// fewer are supplied).
+std::vector<TestOutcome> run_all(const BitStream& bits);
+
+}  // namespace dhtrng::stats::ais31

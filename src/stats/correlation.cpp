@@ -1,0 +1,34 @@
+#include "stats/correlation.h"
+
+#include <cmath>
+
+namespace dhtrng::stats {
+
+std::vector<double> autocorrelation(const support::BitStream& bits,
+                                    std::size_t max_lag) {
+  const std::size_t n = bits.size();
+  std::vector<double> acf;
+  acf.reserve(max_lag);
+  const double ones = static_cast<double>(bits.count_ones());
+  const double mean = 2.0 * ones / static_cast<double>(n) - 1.0;  // of +-1
+  const double var = 1.0 - mean * mean;
+  if (var <= 0.0) return std::vector<double>(max_lag, 0.0);
+  for (std::size_t lag = 1; lag <= max_lag; ++lag) {
+    const std::size_t terms = n - lag;
+    // sum of x_i * x_{i+lag} over +-1 values = terms - 2 * hamming.
+    const std::size_t ham = bits.hamming_distance(0, lag, terms);
+    const double dot = static_cast<double>(terms) - 2.0 * static_cast<double>(ham);
+    const double cov = dot / static_cast<double>(terms) - mean * mean;
+    acf.push_back(cov / var);
+  }
+  return acf;
+}
+
+double bias_percent(const support::BitStream& bits) {
+  const double n1 = static_cast<double>(bits.count_ones());
+  const double n0 = static_cast<double>(bits.size()) - n1;
+  if (n1 + n0 == 0.0) return 0.0;
+  return std::abs(n1 - n0) / (n1 + n0) * 100.0;
+}
+
+}  // namespace dhtrng::stats

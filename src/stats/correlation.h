@@ -1,0 +1,20 @@
+// Autocorrelation (Figure 8) and deviation/bias (Section 4.3, Eq. 6)
+// analyses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/bitstream.h"
+
+namespace dhtrng::stats {
+
+/// Pearson autocorrelation coefficients of the +-1-mapped sequence for lags
+/// 1..max_lag (Figure 8; Karl Pearson's |r| < 0.3 criterion).
+std::vector<double> autocorrelation(const support::BitStream& bits,
+                                    std::size_t max_lag);
+
+/// Bias percentage per the paper's Eq. 6: |N1 - N0| / (N1 + N0) * 100.
+double bias_percent(const support::BitStream& bits);
+
+}  // namespace dhtrng::stats

@@ -1,0 +1,101 @@
+#include "stats/fips140.h"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace dhtrng::stats::fips140 {
+
+namespace {
+
+void require_size(const support::BitStream& sample) {
+  if (sample.size() < kSampleBits) {
+    throw std::invalid_argument("fips140: need 20000 bits");
+  }
+}
+
+}  // namespace
+
+bool monobit(const support::BitStream& sample, double* ones_out) {
+  require_size(sample);
+  const std::size_t ones = sample.count_ones(0, kSampleBits);
+  if (ones_out != nullptr) *ones_out = static_cast<double>(ones);
+  return ones > 9725 && ones < 10275;
+}
+
+bool poker(const support::BitStream& sample, double* chi2_out) {
+  require_size(sample);
+  std::array<std::size_t, 16> f{};
+  for (std::size_t i = 0; i < kSampleBits / 4; ++i) {
+    ++f[sample.word(4 * i, 4)];
+  }
+  double sum = 0.0;
+  for (std::size_t c : f) {
+    sum += static_cast<double>(c) * static_cast<double>(c);
+  }
+  const double x = (16.0 / 5000.0) * sum - 5000.0;
+  if (chi2_out != nullptr) *chi2_out = x;
+  return x > 2.16 && x < 46.17;
+}
+
+bool runs(const support::BitStream& sample) {
+  require_size(sample);
+  // FIPS 140-2 run-length acceptance intervals for lengths 1..5 and 6+.
+  static constexpr std::array<std::pair<std::size_t, std::size_t>, 6>
+      kBounds = {{{2343, 2657},
+                  {1135, 1365},
+                  {542, 708},
+                  {251, 373},
+                  {111, 201},
+                  {111, 201}}};
+  std::array<std::array<std::size_t, 6>, 2> counts{};
+  std::size_t run = 1;
+  for (std::size_t i = 1; i <= kSampleBits; ++i) {
+    if (i < kSampleBits && sample[i] == sample[i - 1]) {
+      ++run;
+    } else {
+      ++counts[sample[i - 1] ? 1u : 0u][std::min<std::size_t>(run, 6) - 1];
+      run = 1;
+    }
+  }
+  for (const auto& side : counts) {
+    for (std::size_t l = 0; l < 6; ++l) {
+      if (side[l] < kBounds[l].first || side[l] > kBounds[l].second) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool long_run(const support::BitStream& sample, std::size_t* longest_out) {
+  require_size(sample);
+  std::size_t longest = 1, run = 1;
+  for (std::size_t i = 1; i < kSampleBits; ++i) {
+    run = sample[i] == sample[i - 1] ? run + 1 : 1;
+    longest = std::max(longest, run);
+  }
+  if (longest_out != nullptr) *longest_out = longest;
+  return longest < 26;
+}
+
+std::vector<Outcome> run_all(const support::BitStream& sample) {
+  std::vector<Outcome> out;
+  double ones = 0.0, chi2 = 0.0;
+  std::size_t longest = 0;
+  out.push_back({"Monobit", monobit(sample, &ones), ones});
+  out.push_back({"Poker", poker(sample, &chi2), chi2});
+  out.push_back({"Runs", runs(sample), 0.0});
+  out.push_back({"Long run", long_run(sample, &longest),
+                 static_cast<double>(longest)});
+  return out;
+}
+
+bool power_up_ok(const support::BitStream& sample) {
+  for (const Outcome& o : run_all(sample)) {
+    if (!o.pass) return false;
+  }
+  return true;
+}
+
+}  // namespace dhtrng::stats::fips140

@@ -1,0 +1,34 @@
+// FIPS 140-2 single-block power-up tests (monobit, poker, runs, long run)
+// on a 20,000-bit sample.  Withdrawn from FIPS 140-3 in favour of the
+// SP 800-90B health tests, but still ubiquitous in fielded HSMs and
+// smartcards — a downstream user of a DH-TRNG core will ask for them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/bitstream.h"
+
+namespace dhtrng::stats::fips140 {
+
+inline constexpr std::size_t kSampleBits = 20000;
+
+struct Outcome {
+  std::string name;
+  bool pass = false;
+  double statistic = 0.0;  ///< test-specific (count / chi-square / length)
+};
+
+bool monobit(const support::BitStream& sample, double* ones = nullptr);
+bool poker(const support::BitStream& sample, double* chi2 = nullptr);
+bool runs(const support::BitStream& sample);
+bool long_run(const support::BitStream& sample,
+              std::size_t* longest = nullptr);
+
+/// All four tests on the first 20,000 bits (throws if fewer).
+std::vector<Outcome> run_all(const support::BitStream& sample);
+
+/// Convenience: true iff every test passes.
+bool power_up_ok(const support::BitStream& sample);
+
+}  // namespace dhtrng::stats::fips140

@@ -1,0 +1,90 @@
+#include "stats/health.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/special_functions.h"
+
+namespace dhtrng::stats {
+
+RepetitionCountTest::RepetitionCountTest(double min_entropy_per_bit)
+    : cutoff_(1 + static_cast<std::size_t>(
+                      std::ceil(20.0 / std::max(min_entropy_per_bit, 1e-3)))) {}
+
+bool RepetitionCountTest::feed(bool bit) {
+  if (alarmed_) return false;
+  if (primed_ && bit == last_) {
+    if (++run_ >= cutoff_) alarmed_ = true;
+  } else {
+    run_ = 1;
+    last_ = bit;
+    primed_ = true;
+  }
+  return !alarmed_;
+}
+
+void RepetitionCountTest::reset() {
+  run_ = 0;
+  alarmed_ = false;
+  primed_ = false;
+}
+
+namespace {
+
+/// Smallest C with P(Binomial(W-1, p) >= C-1) <= 2^-20, where p = 2^-H is
+/// the claimed most-common-value probability (SP 800-90B 4.4.2).
+std::size_t apt_cutoff(double min_entropy_per_bit, std::size_t window) {
+  const double p = std::pow(2.0, -std::max(min_entropy_per_bit, 1e-3));
+  const double alpha = std::pow(2.0, -20.0);
+  // Normal approximation with continuity correction is accurate for
+  // W = 1024; walk up from the mean to find the tail cutoff.
+  const double n = static_cast<double>(window - 1);
+  const double mean = n * p;
+  const double sigma = std::sqrt(n * p * (1.0 - p));
+  std::size_t c = static_cast<std::size_t>(mean);
+  for (; c <= window; ++c) {
+    const double z = (static_cast<double>(c) - 0.5 - mean) / sigma;
+    if (support::normal_q(z) <= alpha) break;
+  }
+  return std::min<std::size_t>(c + 1, window);
+}
+
+}  // namespace
+
+AdaptiveProportionTest::AdaptiveProportionTest(double min_entropy_per_bit,
+                                               std::size_t window)
+    : window_(window), cutoff_(apt_cutoff(min_entropy_per_bit, window)) {}
+
+bool AdaptiveProportionTest::feed(bool bit) {
+  if (alarmed_) return false;
+  if (index_ == 0) {
+    reference_ = bit;
+    matches_ = 0;
+  } else if (bit == reference_) {
+    if (++matches_ >= cutoff_) alarmed_ = true;
+  }
+  if (++index_ >= window_) index_ = 0;
+  return !alarmed_;
+}
+
+void AdaptiveProportionTest::reset() {
+  index_ = 0;
+  matches_ = 0;
+  alarmed_ = false;
+}
+
+HealthMonitor::HealthMonitor(double min_entropy_per_bit)
+    : rct_(min_entropy_per_bit), apt_(min_entropy_per_bit) {}
+
+bool HealthMonitor::feed(bool bit) {
+  const bool a = rct_.feed(bit);
+  const bool b = apt_.feed(bit);
+  return a && b;
+}
+
+void HealthMonitor::reset() {
+  rct_.reset();
+  apt_.reset();
+}
+
+}  // namespace dhtrng::stats

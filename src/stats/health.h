@@ -1,0 +1,82 @@
+// SP 800-90B section 4.4 continuous health tests: the Repetition Count
+// Test (RCT) and the Adaptive Proportion Test (APT).
+//
+// These run *inside* a deployed entropy source, bit by bit, and raise an
+// alarm when the noise source degrades (a stuck ring, a locked loop, a
+// massive bias).  The paper's DH-TRNG targets exactly such deployments
+// (roots of trust), so the library ships them; the key_generation example
+// and the failure-injection tests exercise them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dhtrng::stats {
+
+/// Repetition Count Test (SP 800-90B 4.4.1): alarm when the same value
+/// repeats C times in a row, with C chosen from the claimed per-sample
+/// min-entropy H and a false-alarm probability of 2^-20:
+///   C = 1 + ceil(20 / H).
+class RepetitionCountTest {
+ public:
+  explicit RepetitionCountTest(double min_entropy_per_bit = 0.9);
+
+  /// Feed one bit; returns true while healthy, false once alarmed.
+  bool feed(bool bit);
+
+  bool alarmed() const { return alarmed_; }
+  std::size_t cutoff() const { return cutoff_; }
+  void reset();
+
+ private:
+  std::size_t cutoff_;
+  bool last_ = false;
+  std::size_t run_ = 0;
+  bool alarmed_ = false;
+  bool primed_ = false;
+};
+
+/// Adaptive Proportion Test (SP 800-90B 4.4.2): within each window of
+/// W = 1024 bits, alarm if the first value of the window occurs at least
+/// C times.  C is the 2^-20 binomial tail cutoff for the claimed
+/// min-entropy; for binary H = 1 the standard value is C = 589 and it
+/// grows toward W as the claimed entropy falls.
+class AdaptiveProportionTest {
+ public:
+  explicit AdaptiveProportionTest(double min_entropy_per_bit = 0.9,
+                                  std::size_t window = 1024);
+
+  bool feed(bool bit);
+
+  bool alarmed() const { return alarmed_; }
+  std::size_t cutoff() const { return cutoff_; }
+  void reset();
+
+ private:
+  std::size_t window_;
+  std::size_t cutoff_;
+  bool reference_ = false;
+  std::size_t index_ = 0;
+  std::size_t matches_ = 0;
+  bool alarmed_ = false;
+};
+
+/// Convenience wrapper running both tests side by side.
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(double min_entropy_per_bit = 0.9);
+
+  /// Returns true while both tests are healthy.
+  bool feed(bool bit);
+
+  bool healthy() const { return !rct_.alarmed() && !apt_.alarmed(); }
+  const RepetitionCountTest& rct() const { return rct_; }
+  const AdaptiveProportionTest& apt() const { return apt_; }
+  void reset();
+
+ private:
+  RepetitionCountTest rct_;
+  AdaptiveProportionTest apt_;
+};
+
+}  // namespace dhtrng::stats

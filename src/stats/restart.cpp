@@ -1,0 +1,38 @@
+#include "stats/restart.h"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+
+namespace dhtrng::stats {
+
+RestartResult restart_test(core::TrngSource& trng, std::size_t restarts,
+                           std::size_t bits_per_restart) {
+  RestartResult result;
+  std::vector<std::uint64_t> words;
+  for (std::size_t r = 0; r < restarts; ++r) {
+    trng.restart();
+    std::uint64_t w = 0;
+    for (std::size_t b = 0; b < bits_per_restart; ++b) {
+      w = (w << 1) | (trng.next_bit() ? 1u : 0u);
+    }
+    words.push_back(w);
+    result.first_words.push_back(static_cast<std::uint32_t>(w));
+  }
+  result.all_distinct =
+      std::set<std::uint64_t>(words.begin(), words.end()).size() ==
+      words.size();
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    for (std::size_t j = i + 1; j < words.size(); ++j) {
+      const int same = static_cast<int>(bits_per_restart) -
+                       std::popcount(words[i] ^ words[j]);
+      result.max_pairwise_agreement =
+          std::max(result.max_pairwise_agreement,
+                   static_cast<double>(same) /
+                       static_cast<double>(bits_per_restart));
+    }
+  }
+  return result;
+}
+
+}  // namespace dhtrng::stats

@@ -1,0 +1,25 @@
+// Restart test (Section 4.2): power-cycle the generator several times,
+// capture the first words after each start, and verify all captures differ
+// (a deterministic or state-replaying generator fails immediately).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/trng.h"
+
+namespace dhtrng::stats {
+
+struct RestartResult {
+  std::vector<std::uint32_t> first_words;  ///< first 32 bits per restart
+  bool all_distinct = false;
+  /// Maximum pairwise bit-agreement fraction between captures (0.5 is
+  /// ideal; near 1.0 means the generator repeats its startup transient).
+  double max_pairwise_agreement = 0.0;
+};
+
+RestartResult restart_test(core::TrngSource& trng, std::size_t restarts = 6,
+                           std::size_t bits_per_restart = 32);
+
+}  // namespace dhtrng::stats

@@ -1,0 +1,87 @@
+// SP 800-22 sections 2.11 and 2.12: Serial and Approximate Entropy.
+// Both count overlapping m-bit patterns on the cyclically extended sequence.
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "stats/sp800_22.h"
+#include "support/special_functions.h"
+
+namespace dhtrng::stats::sp800_22 {
+
+using support::igamc;
+
+namespace {
+
+/// Counts of all overlapping m-bit patterns over the cyclic sequence.
+std::vector<std::uint32_t> pattern_counts(const BitStream& bits,
+                                          std::size_t m) {
+  std::vector<std::uint32_t> counts(std::size_t{1} << m, 0);
+  if (m == 0 || bits.size() == 0) return counts;
+  const std::size_t n = bits.size();
+  const std::uint64_t mask = (std::uint64_t{1} << m) - 1;
+  std::uint64_t window = 0;
+  // Prime with the first m-1 bits.
+  for (std::size_t i = 0; i < m - 1; ++i) {
+    window = ((window << 1) | (bits[i] ? 1u : 0u)) & mask;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool bit = bits[(i + m - 1) % n];  // cyclic extension
+    window = ((window << 1) | (bit ? 1u : 0u)) & mask;
+    ++counts[window];
+  }
+  return counts;
+}
+
+double psi_squared(const BitStream& bits, std::size_t m) {
+  if (m == 0) return 0.0;
+  const double n = static_cast<double>(bits.size());
+  const auto counts = pattern_counts(bits, m);
+  double sum = 0.0;
+  for (std::uint32_t c : counts) {
+    sum += static_cast<double>(c) * static_cast<double>(c);
+  }
+  return sum * std::pow(2.0, static_cast<double>(m)) / n - n;
+}
+
+double phi(const BitStream& bits, std::size_t m) {
+  if (m == 0) return 0.0;
+  const double n = static_cast<double>(bits.size());
+  const auto counts = pattern_counts(bits, m);
+  double sum = 0.0;
+  for (std::uint32_t c : counts) {
+    if (c > 0) {
+      const double p = static_cast<double>(c) / n;
+      sum += p * std::log(p);
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+TestResult serial(const BitStream& bits, std::size_t block_len) {
+  const std::size_t m = block_len;
+  const double psi_m = psi_squared(bits, m);
+  const double psi_m1 = psi_squared(bits, m - 1);
+  const double psi_m2 = psi_squared(bits, m - 2);
+  const double d1 = psi_m - psi_m1;
+  const double d2 = psi_m - 2.0 * psi_m1 + psi_m2;
+  const double p1 =
+      igamc(std::pow(2.0, static_cast<double>(m) - 2.0), d1 / 2.0);
+  const double p2 =
+      igamc(std::pow(2.0, static_cast<double>(m) - 3.0), d2 / 2.0);
+  return {"Serial", {p1, p2}};
+}
+
+TestResult approximate_entropy(const BitStream& bits, std::size_t block_len) {
+  const std::size_t m = block_len;
+  const double n = static_cast<double>(bits.size());
+  const double apen = phi(bits, m) - phi(bits, m + 1);
+  const double chi2 = 2.0 * n * (std::log(2.0) - apen);
+  const double p =
+      igamc(std::pow(2.0, static_cast<double>(m) - 1.0), chi2 / 2.0);
+  return {"ApproximateEntropy", {p}};
+}
+
+}  // namespace dhtrng::stats::sp800_22

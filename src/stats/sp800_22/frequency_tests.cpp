@@ -1,0 +1,146 @@
+// SP 800-22 sections 2.1-2.4 and 2.13: Frequency, Block Frequency, Runs,
+// Longest Run of Ones, and Cumulative Sums.
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "stats/sp800_22.h"
+#include "support/special_functions.h"
+
+namespace dhtrng::stats::sp800_22 {
+
+using support::erfc;
+using support::igamc;
+using support::normal_cdf;
+
+TestResult frequency(const BitStream& bits) {
+  const double n = static_cast<double>(bits.size());
+  const double ones = static_cast<double>(bits.count_ones());
+  const double s = std::abs(2.0 * ones - n) / std::sqrt(n);
+  return {"Frequency", {erfc(s / std::sqrt(2.0))}};
+}
+
+TestResult block_frequency(const BitStream& bits, std::size_t block_len) {
+  const std::size_t n = bits.size();
+  const std::size_t blocks = n / block_len;
+  double chi2 = 0.0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const double pi = static_cast<double>(
+                          bits.count_ones(b * block_len, block_len)) /
+                      static_cast<double>(block_len);
+    chi2 += (pi - 0.5) * (pi - 0.5);
+  }
+  chi2 *= 4.0 * static_cast<double>(block_len);
+  return {"BlockFrequency",
+          {igamc(static_cast<double>(blocks) / 2.0, chi2 / 2.0)}};
+}
+
+namespace {
+
+double cusum_p_value(const BitStream& bits, bool forward) {
+  const std::size_t n = bits.size();
+  long long s = 0;
+  long long z = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool bit = forward ? bits[i] : bits[n - 1 - i];
+    s += bit ? 1 : -1;
+    z = std::max(z, std::llabs(s));
+  }
+  if (z == 0) return 0.0;
+  const double zn = static_cast<double>(z);
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  const double nd = static_cast<double>(n);
+  // Summation bounds truncate toward zero, matching the NIST STS reference
+  // implementation (and its worked example 2.13.8).
+  double sum1 = 0.0;
+  {
+    const long long lo = static_cast<long long>((-nd / zn + 1.0) / 4.0);
+    const long long hi = static_cast<long long>((nd / zn - 1.0) / 4.0);
+    for (long long k = lo; k <= hi; ++k) {
+      const double kd = static_cast<double>(k);
+      sum1 += normal_cdf((4.0 * kd + 1.0) * zn / sqrt_n) -
+              normal_cdf((4.0 * kd - 1.0) * zn / sqrt_n);
+    }
+  }
+  double sum2 = 0.0;
+  {
+    const long long lo = static_cast<long long>((-nd / zn - 3.0) / 4.0);
+    const long long hi = static_cast<long long>((nd / zn - 1.0) / 4.0);
+    for (long long k = lo; k <= hi; ++k) {
+      const double kd = static_cast<double>(k);
+      sum2 += normal_cdf((4.0 * kd + 3.0) * zn / sqrt_n) -
+              normal_cdf((4.0 * kd + 1.0) * zn / sqrt_n);
+    }
+  }
+  return 1.0 - sum1 + sum2;
+}
+
+}  // namespace
+
+TestResult cumulative_sums(const BitStream& bits) {
+  return {"CumulativeSums",
+          {cusum_p_value(bits, true), cusum_p_value(bits, false)}};
+}
+
+TestResult runs(const BitStream& bits) {
+  const std::size_t n = bits.size();
+  const double nd = static_cast<double>(n);
+  const double pi = static_cast<double>(bits.count_ones()) / nd;
+  // Prerequisite frequency check (SP 800-22 2.3.4 step 2).
+  if (std::abs(pi - 0.5) >= 2.0 / std::sqrt(nd)) {
+    return {"Runs", {0.0}};
+  }
+  std::size_t v = 1;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (bits[i] != bits[i - 1]) ++v;
+  }
+  const double vd = static_cast<double>(v);
+  const double p = erfc(std::abs(vd - 2.0 * nd * pi * (1.0 - pi)) /
+                        (2.0 * std::sqrt(2.0 * nd) * pi * (1.0 - pi)));
+  return {"Runs", {p}};
+}
+
+TestResult longest_run(const BitStream& bits) {
+  const std::size_t n = bits.size();
+  std::size_t m;         // block length
+  std::size_t k;         // number of chi-square classes - 1
+  std::vector<double> pi;
+  std::size_t v_min;     // class lower bound (longest run <= v_min)
+  if (n >= 750000) {
+    m = 10000, k = 6, v_min = 10;
+    pi = {0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727};
+  } else if (n >= 6272) {
+    m = 128, k = 5, v_min = 4;
+    pi = {0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124};
+  } else {
+    m = 8, k = 3, v_min = 1;
+    pi = {0.2148, 0.3672, 0.2305, 0.1875};
+  }
+  const std::size_t blocks = n / m;
+  std::vector<std::size_t> nu(k + 1, 0);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::size_t longest = 0, run = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (bits[b * m + i]) {
+        ++run;
+        longest = std::max(longest, run);
+      } else {
+        run = 0;
+      }
+    }
+    std::size_t cls = longest <= v_min ? 0
+                      : longest >= v_min + k ? k
+                                             : longest - v_min;
+    ++nu[cls];
+  }
+  double chi2 = 0.0;
+  const double nb = static_cast<double>(blocks);
+  for (std::size_t c = 0; c <= k; ++c) {
+    const double expected = nb * pi[c];
+    const double d = static_cast<double>(nu[c]) - expected;
+    chi2 += d * d / expected;
+  }
+  return {"LongestRun", {igamc(static_cast<double>(k) / 2.0, chi2 / 2.0)}};
+}
+
+}  // namespace dhtrng::stats::sp800_22

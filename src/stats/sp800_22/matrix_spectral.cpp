@@ -1,0 +1,64 @@
+// SP 800-22 sections 2.5 and 2.6: Binary Matrix Rank and Discrete Fourier
+// Transform (spectral) tests.
+#include <cmath>
+
+#include "stats/sp800_22.h"
+#include "support/fft.h"
+#include "support/gf2.h"
+#include "support/special_functions.h"
+
+namespace dhtrng::stats::sp800_22 {
+
+using support::erfc;
+
+TestResult rank(const BitStream& bits) {
+  constexpr std::size_t kM = 32;
+  constexpr std::size_t kQ = 32;
+  const std::size_t matrices = bits.size() / (kM * kQ);
+  if (matrices == 0) return {"Rank", {0.0}, false};
+
+  std::size_t full = 0, minus1 = 0;
+  for (std::size_t m = 0; m < matrices; ++m) {
+    support::Gf2Matrix mat(kM, kQ);
+    const std::size_t base = m * kM * kQ;
+    for (std::size_t r = 0; r < kM; ++r) {
+      for (std::size_t c = 0; c < kQ; ++c) {
+        mat.set(r, c, bits[base + r * kQ + c]);
+      }
+    }
+    const std::size_t rk = mat.rank();
+    if (rk == kM) ++full;
+    else if (rk == kM - 1) ++minus1;
+  }
+  const std::size_t rest = matrices - full - minus1;
+  const double p_full = support::gf2_full_rank_deficit_probability(kM, 0);
+  const double p_m1 = support::gf2_full_rank_deficit_probability(kM, 1);
+  const double p_rest = 1.0 - p_full - p_m1;
+  const double nd = static_cast<double>(matrices);
+  double chi2 = 0.0;
+  chi2 += (static_cast<double>(full) - p_full * nd) *
+          (static_cast<double>(full) - p_full * nd) / (p_full * nd);
+  chi2 += (static_cast<double>(minus1) - p_m1 * nd) *
+          (static_cast<double>(minus1) - p_m1 * nd) / (p_m1 * nd);
+  chi2 += (static_cast<double>(rest) - p_rest * nd) *
+          (static_cast<double>(rest) - p_rest * nd) / (p_rest * nd);
+  return {"Rank", {std::exp(-chi2 / 2.0)}};
+}
+
+TestResult dft(const BitStream& bits) {
+  const std::size_t n = bits.size();
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = bits[i] ? 1.0 : -1.0;
+  const std::vector<double> mags = support::real_dft_magnitudes(x);
+  const double nd = static_cast<double>(n);
+  const double threshold = std::sqrt(std::log(1.0 / 0.05) * nd);
+  const double n0 = 0.95 * nd / 2.0;
+  double n1 = 0.0;
+  for (double m : mags) {
+    if (m < threshold) n1 += 1.0;
+  }
+  const double d = (n1 - n0) / std::sqrt(nd * 0.95 * 0.05 / 4.0);
+  return {"FFT", {erfc(std::abs(d) / std::sqrt(2.0))}};
+}
+
+}  // namespace dhtrng::stats::sp800_22

@@ -1,0 +1,176 @@
+// SP 800-22 sections 2.7-2.9: Non-overlapping Template Matching,
+// Overlapping Template Matching, and Maurer's Universal Statistical test.
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "stats/sp800_22.h"
+#include "support/special_functions.h"
+
+namespace dhtrng::stats::sp800_22 {
+
+using support::erfc;
+using support::igamc;
+
+TestResult non_overlapping_template(const BitStream& bits,
+                                    std::size_t template_len) {
+  const std::size_t n = bits.size();
+  constexpr std::size_t kBlocks = 8;
+  const std::size_t block_len = n / kBlocks;
+  const std::size_t m = template_len;
+  if (block_len < m) return {"NonOverlappingTemplate", {}, false};
+
+  // Bucket every window position by its m-bit value; each template's
+  // occurrence list is then one bucket, and greedy non-overlapping counting
+  // walks it once.  Total work is O(n + sum of bucket sizes) = O(n).
+  const std::size_t window_count = n - m + 1;
+  std::vector<std::vector<std::uint32_t>> positions(std::size_t{1} << m);
+  std::uint32_t window = 0;
+  const std::uint32_t mask = (1u << m) - 1u;
+  for (std::size_t i = 0; i < n; ++i) {
+    window = ((window << 1) | (bits[i] ? 1u : 0u)) & mask;
+    if (i + 1 >= m) {
+      positions[window].push_back(static_cast<std::uint32_t>(i + 1 - m));
+    }
+  }
+  (void)window_count;
+
+  const double md = static_cast<double>(block_len);
+  const double mu = (md - static_cast<double>(m) + 1.0) /
+                    std::pow(2.0, static_cast<double>(m));
+  const double sigma2 =
+      md * (1.0 / std::pow(2.0, static_cast<double>(m)) -
+            (2.0 * static_cast<double>(m) - 1.0) /
+                std::pow(2.0, 2.0 * static_cast<double>(m)));
+
+  TestResult result{"NonOverlappingTemplate", {}};
+  for (const auto& tpl : aperiodic_templates(m)) {
+    std::uint32_t value = 0;
+    for (bool b : tpl) value = (value << 1) | (b ? 1u : 0u);
+    std::array<std::size_t, kBlocks> w{};
+    std::size_t last_end = 0;  // next allowed start within the current block
+    std::size_t last_block = kBlocks;  // sentinel
+    for (std::uint32_t pos : positions[value]) {
+      const std::size_t block = pos / block_len;
+      if (block >= kBlocks) break;
+      // The STS scans i in [0, M-m] inside each block; windows spanning a
+      // boundary do not count.
+      if (pos % block_len > block_len - m) continue;
+      if (block != last_block) {
+        last_block = block;
+        last_end = pos;
+      }
+      if (pos >= last_end) {
+        ++w[block];
+        last_end = pos + m;
+      }
+    }
+    double chi2 = 0.0;
+    for (std::size_t b = 0; b < kBlocks; ++b) {
+      const double d = static_cast<double>(w[b]) - mu;
+      chi2 += d * d / sigma2;
+    }
+    result.p_values.push_back(
+        igamc(static_cast<double>(kBlocks) / 2.0, chi2 / 2.0));
+  }
+  return result;
+}
+
+TestResult overlapping_template(const BitStream& bits,
+                                std::size_t template_len) {
+  const std::size_t n = bits.size();
+  constexpr std::size_t kBlockLen = 1032;
+  constexpr std::size_t kK = 5;
+  // Class probabilities for m = 9, M = 1032 (lambda ~ 2), from the STS.
+  static constexpr std::array<double, kK + 1> kPi = {
+      0.364091, 0.185659, 0.139381, 0.100571, 0.070432, 0.139865};
+  const std::size_t blocks = n / kBlockLen;
+  if (blocks == 0 || template_len > kBlockLen) {
+    return {"OverlappingTemplate", {}, false};
+  }
+  std::array<std::size_t, kK + 1> nu{};
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::size_t matches = 0;
+    std::size_t run = 0;
+    for (std::size_t i = 0; i < kBlockLen; ++i) {
+      if (bits[b * kBlockLen + i]) {
+        ++run;
+        if (run >= template_len) ++matches;  // overlapping all-ones matches
+      } else {
+        run = 0;
+      }
+    }
+    ++nu[std::min(matches, kK)];
+  }
+  double chi2 = 0.0;
+  for (std::size_t c = 0; c <= kK; ++c) {
+    const double expected = static_cast<double>(blocks) * kPi[c];
+    const double d = static_cast<double>(nu[c]) - expected;
+    chi2 += d * d / expected;
+  }
+  return {"OverlappingTemplate",
+          {igamc(static_cast<double>(kK) / 2.0, chi2 / 2.0)}};
+}
+
+TestResult universal(const BitStream& bits) {
+  const std::size_t n = bits.size();
+  // Block length selection thresholds and the expected value / variance
+  // table from SP 800-22 section 2.9.
+  struct Row { std::size_t min_n; std::size_t l; double expected; double var; };
+  static constexpr std::array<Row, 11> kTable = {{
+      {387840, 6, 5.2177052, 2.954},
+      {904960, 7, 6.1962507, 3.125},
+      {2068480, 8, 7.1836656, 3.238},
+      {4654080, 9, 8.1764248, 3.311},
+      {10342400, 10, 9.1723243, 3.356},
+      {22753280, 11, 10.170032, 3.384},
+      {49643520, 12, 11.168765, 3.401},
+      {107560960, 13, 12.168070, 3.410},
+      {231669760, 14, 13.167693, 3.416},
+      {496435200, 15, 14.167488, 3.419},
+      {1059061760, 16, 15.167379, 3.421},
+  }};
+  std::size_t l = 0;
+  double expected = 0.0, var = 0.0;
+  for (const Row& row : kTable) {
+    if (n >= row.min_n) {
+      l = row.l;
+      expected = row.expected;
+      var = row.var;
+    }
+  }
+  if (l == 0) return {"Universal", {}, false};
+
+  const std::size_t q = 10 * (std::size_t{1} << l);
+  const std::size_t k = n / l - q;
+  std::vector<std::size_t> last(std::size_t{1} << l, 0);
+  // Initialization segment.
+  for (std::size_t b = 0; b < q; ++b) {
+    std::size_t pattern = 0;
+    for (std::size_t j = 0; j < l; ++j) {
+      pattern = (pattern << 1) | (bits[b * l + j] ? 1u : 0u);
+    }
+    last[pattern] = b + 1;
+  }
+  // Test segment.
+  double sum = 0.0;
+  for (std::size_t b = q; b < q + k; ++b) {
+    std::size_t pattern = 0;
+    for (std::size_t j = 0; j < l; ++j) {
+      pattern = (pattern << 1) | (bits[b * l + j] ? 1u : 0u);
+    }
+    sum += std::log2(static_cast<double>(b + 1 - last[pattern]));
+    last[pattern] = b + 1;
+  }
+  const double fn = sum / static_cast<double>(k);
+  const double c = 0.7 - 0.8 / static_cast<double>(l) +
+                   (4.0 + 32.0 / static_cast<double>(l)) *
+                       std::pow(static_cast<double>(k),
+                                -3.0 / static_cast<double>(l)) /
+                       15.0;
+  const double sigma = c * std::sqrt(var / static_cast<double>(k));
+  return {"Universal",
+          {erfc(std::abs(fn - expected) / (std::sqrt(2.0) * sigma))}};
+}
+
+}  // namespace dhtrng::stats::sp800_22

@@ -1,0 +1,110 @@
+// SP 800-90B section 6.3.4: Compression (Maurer-style) estimator.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/sp800_90b.h"
+
+namespace dhtrng::stats::sp800_90b {
+
+namespace {
+
+constexpr double kZ99 = 2.5758293035489004;
+constexpr std::size_t kBlockBits = 6;       // b
+constexpr std::size_t kDictBlocks = 1000;   // d
+
+/// G(z): expected compression statistic for the near-uniform family with
+/// most-likely-block probability z (SP 800-90B 6.3.4 step 7).
+double g_function(double z, std::size_t d, std::size_t num_blocks) {
+  const double q = 1.0 - z;
+  const std::size_t v = num_blocks - d;
+  // inner(t) = sum_{u=1}^{t-1} log2(u) (1-z)^(u-1); accumulate as t grows.
+  double inner = 0.0;
+  double q_pow = 1.0;  // (1-z)^(u-1) for the next u
+  std::size_t u = 1;
+  double total = 0.0;
+  for (std::size_t t = d + 1; t <= num_blocks; ++t) {
+    while (u < t) {
+      inner += std::log2(static_cast<double>(u)) * q_pow;
+      q_pow *= q;
+      ++u;
+    }
+    // F(z,t,u) = z^2 (1-z)^(u-1) for u < t, z (1-z)^(t-1) for u = t.
+    total += z * z * inner +
+             z * std::log2(static_cast<double>(t)) *
+                 std::pow(q, static_cast<double>(t) - 1.0);
+  }
+  return total / static_cast<double>(v);
+}
+
+}  // namespace
+
+EstimatorResult compression(const BitStream& bits) {
+  EstimatorResult result;
+  result.name = "Compression";
+  const std::size_t num_blocks = bits.size() / kBlockBits;
+  if (num_blocks <= kDictBlocks + 1) {
+    result.p_max = 1.0;
+    result.h_min = 0.0;
+    return result;
+  }
+  std::vector<std::size_t> last(std::size_t{1} << kBlockBits, 0);
+  const auto block_value = [&](std::size_t b) {
+    std::size_t v = 0;
+    for (std::size_t j = 0; j < kBlockBits; ++j) {
+      v = (v << 1) | (bits[b * kBlockBits + j] ? 1u : 0u);
+    }
+    return v;
+  };
+  for (std::size_t b = 0; b < kDictBlocks; ++b) {
+    last[block_value(b)] = b + 1;
+  }
+  const std::size_t k = num_blocks - kDictBlocks;
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::size_t b = kDictBlocks; b < num_blocks; ++b) {
+    const std::size_t v = block_value(b);
+    const double dist = static_cast<double>(b + 1 - last[v]);
+    const double lg = std::log2(dist);
+    sum += lg;
+    sum_sq += lg * lg;
+    last[v] = b + 1;
+  }
+  const double kd = static_cast<double>(k);
+  const double mean = sum / kd;
+  const double var = (sum_sq - kd * mean * mean) / (kd - 1.0);
+  const double b_d = static_cast<double>(kBlockBits);
+  const double c = 0.7 - 0.8 / b_d +
+                   (4.0 + 32.0 / b_d) * std::pow(kd, -3.0 / b_d) / 15.0;
+  const double sigma = c * std::sqrt(var);
+  const double x_lo = mean - kZ99 * sigma / std::sqrt(kd);
+
+  // Expected statistic of the near-uniform family with most-likely-block
+  // probability p: the MCV block contributes G(p) and each of the 2^b - 1
+  // other blocks contributes G((1-p)/(2^b-1)) (SP 800-90B 6.3.4 step 7).
+  const double symbols = std::pow(2.0, b_d);
+  const auto expected_statistic = [&](double p) {
+    return g_function(p, kDictBlocks, num_blocks) +
+           (symbols - 1.0) *
+               g_function((1.0 - p) / (symbols - 1.0), kDictBlocks,
+                          num_blocks);
+  };
+  // Binary search for the largest p with E[X](p) >= x_lo (more-biased
+  // sources compress better, so the expectation decreases in p).
+  double lo = 1.0 / symbols, hi = 1.0 - 1e-9;
+  bool found = false;
+  for (int it = 0; it < 40; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (expected_statistic(mid) >= x_lo) {
+      lo = mid;
+      found = true;
+    } else {
+      hi = mid;
+    }
+  }
+  const double p = found ? lo : 1.0 / symbols;
+  result.p_max = std::clamp(std::pow(p, 1.0 / b_d), 1e-12, 1.0);
+  result.h_min = std::min(-std::log2(p) / b_d, 1.0);
+  return result;
+}
+
+}  // namespace dhtrng::stats::sp800_90b

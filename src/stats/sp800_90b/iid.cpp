@@ -1,0 +1,243 @@
+// SP 800-90B section 5.1: permutation testing for the IID assumption.
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "stats/sp800_90b.h"
+#include "support/rng.h"
+
+namespace dhtrng::stats::sp800_90b {
+
+namespace {
+
+/// "Conversion I": non-overlapping 8-bit blocks -> number of ones per block.
+std::vector<std::uint8_t> conversion1(const std::vector<std::uint8_t>& bits) {
+  std::vector<std::uint8_t> out;
+  out.reserve(bits.size() / 8);
+  for (std::size_t b = 0; b + 8 <= bits.size(); b += 8) {
+    std::uint8_t ones = 0;
+    for (std::size_t j = 0; j < 8; ++j) ones += bits[b + j];
+    out.push_back(ones);
+  }
+  return out;
+}
+
+// --- statistics (5.1.1 - 5.1.11) ------------------------------------------
+
+double excursion(const std::vector<std::uint8_t>& bits) {
+  double sum = 0.0;
+  for (std::uint8_t b : bits) sum += b;
+  const double mean = sum / static_cast<double>(bits.size());
+  double running = 0.0, worst = 0.0;
+  for (std::uint8_t b : bits) {
+    running += static_cast<double>(b) - mean;
+    worst = std::max(worst, std::abs(running));
+  }
+  return worst;
+}
+
+double num_directional_runs(const std::vector<std::uint8_t>& conv) {
+  if (conv.size() < 2) return 0.0;
+  double runs = 1.0;
+  bool up = conv[1] >= conv[0];
+  for (std::size_t i = 2; i < conv.size(); ++i) {
+    const bool now_up = conv[i] >= conv[i - 1];
+    if (now_up != up) {
+      runs += 1.0;
+      up = now_up;
+    }
+  }
+  return runs;
+}
+
+double len_directional_runs(const std::vector<std::uint8_t>& conv) {
+  if (conv.size() < 2) return 0.0;
+  double longest = 1.0, run = 1.0;
+  bool up = conv[1] >= conv[0];
+  for (std::size_t i = 2; i < conv.size(); ++i) {
+    const bool now_up = conv[i] >= conv[i - 1];
+    if (now_up == up) {
+      run += 1.0;
+    } else {
+      run = 1.0;
+      up = now_up;
+    }
+    longest = std::max(longest, run);
+  }
+  return longest;
+}
+
+double num_increases(const std::vector<std::uint8_t>& conv) {
+  if (conv.size() < 2) return 0.0;
+  std::size_t inc = 0;
+  for (std::size_t i = 1; i < conv.size(); ++i) {
+    inc += conv[i] >= conv[i - 1] ? 1u : 0u;
+  }
+  // Spec: max(#increases, #decreases).
+  return static_cast<double>(std::max(inc, conv.size() - 1 - inc));
+}
+
+double num_runs_median(const std::vector<std::uint8_t>& bits) {
+  // Binary median is 1/2: runs of equal bits.
+  double runs = 1.0;
+  for (std::size_t i = 1; i < bits.size(); ++i) {
+    if (bits[i] != bits[i - 1]) runs += 1.0;
+  }
+  return runs;
+}
+
+double len_runs_median(const std::vector<std::uint8_t>& bits) {
+  double longest = 1.0, run = 1.0;
+  for (std::size_t i = 1; i < bits.size(); ++i) {
+    run = bits[i] == bits[i - 1] ? run + 1.0 : 1.0;
+    longest = std::max(longest, run);
+  }
+  return longest;
+}
+
+void collision_stats(const std::vector<std::uint8_t>& bits, double* avg,
+                     double* max) {
+  double total = 0.0, count = 0.0, worst = 0.0;
+  std::size_t i = 0;
+  while (i + 1 < bits.size()) {
+    // Binary collision within at most 3 samples (cf. 6.3.2).
+    double t;
+    if (bits[i] == bits[i + 1]) {
+      t = 2.0;
+      i += 2;
+    } else if (i + 2 < bits.size()) {
+      t = 3.0;
+      i += 3;
+    } else {
+      break;
+    }
+    total += t;
+    count += 1.0;
+    worst = std::max(worst, t);
+  }
+  *avg = count > 0 ? total / count : 0.0;
+  *max = worst;
+}
+
+double periodicity(const std::vector<std::uint8_t>& conv, std::size_t lag) {
+  if (conv.size() <= lag) return 0.0;
+  double matches = 0.0;
+  for (std::size_t i = 0; i + lag < conv.size(); ++i) {
+    matches += conv[i] == conv[i + lag] ? 1.0 : 0.0;
+  }
+  return matches;
+}
+
+double covariance(const std::vector<std::uint8_t>& conv, std::size_t lag) {
+  if (conv.size() <= lag) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i + lag < conv.size(); ++i) {
+    sum += static_cast<double>(conv[i]) * static_cast<double>(conv[i + lag]);
+  }
+  return sum;
+}
+
+double lz78_dictionary_size(const std::vector<std::uint8_t>& bits) {
+  // Substitution for the spec's bzip2-size statistic: the number of
+  // distinct phrases an LZ78 parse produces (same monotone sensitivity to
+  // redundancy; self-contained).
+  std::unordered_set<std::uint64_t> dictionary;
+  std::uint64_t phrase = 1;  // sentinel top bit marks the phrase length
+  for (std::uint8_t b : bits) {
+    phrase = (phrase << 1) | b;
+    if (phrase >= (1ULL << 62) || dictionary.insert(phrase).second) {
+      phrase = 1;
+    }
+  }
+  return static_cast<double>(dictionary.size());
+}
+
+constexpr std::array<std::size_t, 5> kLags = {1, 2, 8, 16, 32};
+
+std::vector<double> all_statistics(const std::vector<std::uint8_t>& bits) {
+  const auto conv = conversion1(bits);
+  std::vector<double> s;
+  s.reserve(19);
+  s.push_back(excursion(bits));
+  s.push_back(num_directional_runs(conv));
+  s.push_back(len_directional_runs(conv));
+  s.push_back(num_increases(conv));
+  s.push_back(num_runs_median(bits));
+  s.push_back(len_runs_median(bits));
+  double avg_col = 0.0, max_col = 0.0;
+  collision_stats(bits, &avg_col, &max_col);
+  s.push_back(avg_col);
+  s.push_back(max_col);
+  for (std::size_t lag : kLags) s.push_back(periodicity(conv, lag));
+  for (std::size_t lag : kLags) s.push_back(covariance(conv, lag));
+  s.push_back(lz78_dictionary_size(bits));
+  return s;
+}
+
+const char* statistic_name(std::size_t index) {
+  static const char* kNames[] = {
+      "excursion",       "numDirectionalRuns", "lenDirectionalRuns",
+      "numIncreases",    "numRunsMedian",      "lenRunsMedian",
+      "avgCollision",    "maxCollision",       "periodicity(1)",
+      "periodicity(2)",  "periodicity(8)",     "periodicity(16)",
+      "periodicity(32)", "covariance(1)",      "covariance(2)",
+      "covariance(8)",   "covariance(16)",     "covariance(32)",
+      "compression(LZ78)"};
+  return kNames[index];
+}
+
+}  // namespace
+
+IidTestResult permutation_iid_test(const BitStream& bits,
+                                   std::size_t permutations,
+                                   std::uint64_t seed) {
+  IidTestResult result;
+  result.permutations = permutations;
+
+  std::vector<std::uint8_t> sample(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) sample[i] = bits[i] ? 1 : 0;
+
+  const std::vector<double> original = all_statistics(sample);
+  result.statistics.resize(original.size());
+  for (std::size_t s = 0; s < original.size(); ++s) {
+    result.statistics[s].name = statistic_name(s);
+    result.statistics[s].original = original[s];
+  }
+
+  support::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> shuffled = sample;
+  for (std::size_t p = 0; p < permutations; ++p) {
+    // Fisher-Yates.
+    for (std::size_t i = shuffled.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(rng.below(i));
+      std::swap(shuffled[i - 1], shuffled[j]);
+    }
+    const std::vector<double> stats = all_statistics(shuffled);
+    for (std::size_t s = 0; s < stats.size(); ++s) {
+      if (stats[s] < original[s]) {
+        ++result.statistics[s].rank_below;
+      } else if (stats[s] == original[s]) {
+        ++result.statistics[s].rank_equal;
+      }
+    }
+  }
+
+  // Two-tailed rank acceptance: the spec rejects when C0 + C1 <= 5 or
+  // C0 >= N - 5 at N = 10000; the margin scales proportionally (and is 0
+  // for small N, where the criterion degenerates to "not at the very
+  // extreme of the shuffle distribution").
+  const std::size_t margin = (5 * permutations) / 10000;
+  result.iid_assumption_holds = true;
+  for (auto& stat : result.statistics) {
+    const std::size_t below_or_equal = stat.rank_below + stat.rank_equal;
+    stat.pass = below_or_equal > margin &&
+                stat.rank_below < permutations - margin;
+    if (!stat.pass) result.iid_assumption_holds = false;
+  }
+  return result;
+}
+
+}  // namespace dhtrng::stats::sp800_90b

@@ -1,0 +1,220 @@
+// SP 800-90B sections 6.3.7-6.3.10: the four prediction estimators
+// (MultiMCW, Lag, MultiMMC, LZ78Y) for the binary alphabet.
+//
+// Shared skeleton: several sub-predictors each guess the next bit; a
+// scoreboard tracks which sub-predictor has been right most often and the
+// *global* prediction at each step is the current leader's guess.  The
+// entropy bound combines the global hit rate with the longest run of
+// correct global predictions (predictor_p_max in basic.cpp).
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "stats/sp800_90b.h"
+
+namespace dhtrng::stats::sp800_90b {
+
+namespace {
+
+EstimatorResult from_predictions(std::string name, std::size_t correct,
+                                 std::size_t total,
+                                 std::size_t longest_run) {
+  EstimatorResult r;
+  r.name = std::move(name);
+  r.p_max = std::clamp(predictor_p_max(correct, total, longest_run), 1e-12, 1.0);
+  r.h_min = std::min(-std::log2(r.p_max), 1.0);
+  return r;
+}
+
+/// Tracks global correctness statistics.
+struct GlobalScore {
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  std::size_t run = 0;
+  std::size_t longest_run = 0;
+  void observe(bool hit) {
+    ++total;
+    if (hit) {
+      ++correct;
+      ++run;
+      longest_run = std::max(longest_run, run);
+    } else {
+      run = 0;
+    }
+  }
+};
+
+}  // namespace
+
+EstimatorResult multi_mcw(const BitStream& bits) {
+  constexpr std::array<std::size_t, 4> kWindows = {63, 255, 1023, 4095};
+  const std::size_t n = bits.size();
+  if (n <= kWindows[0] + 1) return from_predictions("Multi-MCW", 0, 0, 0);
+
+  std::array<std::size_t, 4> ones{};    // ones within each window
+  std::array<std::size_t, 4> score{};   // sub-predictor scoreboard
+  GlobalScore global;
+  for (std::size_t i = kWindows[0]; i < n; ++i) {
+    // Predictions: most common value in the trailing window (ties -> 1,
+    // matching the reference implementation's >= comparison).
+    std::array<bool, 4> pred{};
+    std::size_t leader = 0;
+    for (std::size_t w = 0; w < 4; ++w) {
+      const std::size_t window = kWindows[w];
+      if (i >= window) {
+        pred[w] = 2 * ones[w] >= window;
+      } else {
+        pred[w] = pred[0];
+      }
+      if (score[w] > score[leader]) leader = w;
+    }
+    const bool actual = bits[i];
+    global.observe(pred[leader] == actual);
+    for (std::size_t w = 0; w < 4; ++w) {
+      if (i >= kWindows[w] && pred[w] == actual) ++score[w];
+    }
+    // Slide the windows.
+    for (std::size_t w = 0; w < 4; ++w) {
+      const std::size_t window = kWindows[w];
+      if (actual) ++ones[w];
+      if (i >= window && bits[i - window]) --ones[w];
+    }
+  }
+  return from_predictions("Multi-MCW", global.correct, global.total,
+                          global.longest_run);
+}
+
+EstimatorResult lag(const BitStream& bits) {
+  constexpr std::size_t kLags = 128;
+  const std::size_t n = bits.size();
+  if (n < 2) return from_predictions("Lag", 0, 0, 0);
+
+  std::array<std::size_t, kLags> score{};
+  GlobalScore global;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t leader = 0;
+    for (std::size_t d = 0; d < kLags; ++d) {
+      if (score[d] > score[leader]) leader = d;
+    }
+    const bool actual = bits[i];
+    const std::size_t lag_of_leader = leader + 1;
+    const bool prediction =
+        i >= lag_of_leader ? bits[i - lag_of_leader] : false;
+    global.observe(prediction == actual);
+    for (std::size_t d = 0; d < kLags; ++d) {
+      const std::size_t lag_d = d + 1;
+      if (i >= lag_d && bits[i - lag_d] == actual) ++score[d];
+    }
+  }
+  return from_predictions("Lag", global.correct, global.total,
+                          global.longest_run);
+}
+
+EstimatorResult multi_mmc(const BitStream& bits) {
+  constexpr std::size_t kMaxDepth = 16;
+  const std::size_t n = bits.size();
+  if (n < kMaxDepth + 2) return from_predictions("Multi-MMC", 0, 0, 0);
+
+  // Per-depth Markov-model counts: counts[d][context][next].
+  std::vector<std::vector<std::array<std::uint32_t, 2>>> counts(kMaxDepth);
+  for (std::size_t d = 0; d < kMaxDepth; ++d) {
+    counts[d].assign(std::size_t{1} << (d + 1), {0, 0});
+  }
+  std::array<std::size_t, kMaxDepth> score{};
+  GlobalScore global;
+  std::uint64_t history = 0;  // trailing bits, LSB = most recent
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool actual = bits[i];
+    if (i >= 2) {
+      std::size_t leader = 0;
+      for (std::size_t d = 0; d < kMaxDepth; ++d) {
+        if (score[d] > score[leader]) leader = d;
+      }
+      // Global prediction from the leading depth's context counts.
+      bool global_pred = false;
+      bool global_valid = false;
+      for (std::size_t d = 0; d < kMaxDepth; ++d) {
+        if (i < d + 2) break;
+        const std::uint64_t ctx = history & ((std::uint64_t{1} << (d + 1)) - 1);
+        const auto& c = counts[d][ctx];
+        const bool pred = c[1] >= c[0];
+        const bool valid = (c[0] + c[1]) > 0;
+        if (d == leader) {
+          global_pred = pred;
+          global_valid = valid;
+        }
+        if (valid && pred == actual) ++score[d];
+      }
+      global.observe(global_valid && global_pred == actual);
+      // Update the models with the observed transition.
+      for (std::size_t d = 0; d < kMaxDepth; ++d) {
+        if (i < d + 1) break;
+        const std::uint64_t ctx = history & ((std::uint64_t{1} << (d + 1)) - 1);
+        ++counts[d][ctx][actual ? 1u : 0u];
+      }
+    } else if (i == 1) {
+      const std::uint64_t ctx = history & 1u;
+      ++counts[0][ctx][actual ? 1u : 0u];
+    }
+    history = (history << 1) | (actual ? 1u : 0u);
+  }
+  return from_predictions("Multi-MMC", global.correct, global.total,
+                          global.longest_run);
+}
+
+EstimatorResult lz78y(const BitStream& bits) {
+  constexpr std::size_t kMaxDepth = 16;
+  constexpr std::size_t kDictCapacity = 65536;
+  const std::size_t n = bits.size();
+  if (n < kMaxDepth + 2) return from_predictions("LZ78Y", 0, 0, 0);
+
+  // Dictionary: per depth, context -> next-bit counts, entries added only
+  // while capacity remains (the LZ78-style growth rule).
+  std::vector<std::vector<std::array<std::uint32_t, 2>>> counts(kMaxDepth);
+  std::vector<std::vector<bool>> present(kMaxDepth);
+  for (std::size_t d = 0; d < kMaxDepth; ++d) {
+    counts[d].assign(std::size_t{1} << (d + 1), {0, 0});
+    present[d].assign(std::size_t{1} << (d + 1), false);
+  }
+  std::size_t dict_size = 0;
+  GlobalScore global;
+  std::uint64_t history = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool actual = bits[i];
+    if (i >= kMaxDepth + 1) {
+      // Predict with the deepest present context (longest match heuristic).
+      bool prediction = false;
+      bool valid = false;
+      for (std::size_t d = kMaxDepth; d-- > 0;) {
+        const std::uint64_t ctx = history & ((std::uint64_t{1} << (d + 1)) - 1);
+        if (present[d][ctx]) {
+          const auto& c = counts[d][ctx];
+          prediction = c[1] >= c[0];
+          valid = true;
+          break;
+        }
+      }
+      global.observe(valid && prediction == actual);
+      // Dictionary update.
+      for (std::size_t d = 0; d < kMaxDepth; ++d) {
+        const std::uint64_t ctx = history & ((std::uint64_t{1} << (d + 1)) - 1);
+        if (!present[d][ctx]) {
+          if (dict_size < kDictCapacity) {
+            present[d][ctx] = true;
+            ++dict_size;
+            ++counts[d][ctx][actual ? 1u : 0u];
+          }
+        } else {
+          ++counts[d][ctx][actual ? 1u : 0u];
+        }
+      }
+    }
+    history = (history << 1) | (actual ? 1u : 0u);
+  }
+  return from_predictions("LZ78Y", global.correct, global.total,
+                          global.longest_run);
+}
+
+}  // namespace dhtrng::stats::sp800_90b

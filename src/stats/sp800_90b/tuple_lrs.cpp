@@ -1,0 +1,114 @@
+// SP 800-90B sections 6.3.5 and 6.3.6: t-Tuple and Longest Repeated
+// Substring estimators (binary alphabet, windowed counting).
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/sp800_90b.h"
+
+namespace dhtrng::stats::sp800_90b {
+
+namespace {
+
+constexpr double kZ99 = 2.5758293035489004;
+constexpr std::size_t kFlatLimit = 20;  // flat table up to 2^20 counters
+
+EstimatorResult bounded(std::string name, double p_hat, double n) {
+  EstimatorResult r;
+  r.name = std::move(name);
+  const double p_u =
+      std::min(1.0, p_hat + kZ99 * std::sqrt(p_hat * (1.0 - p_hat) / (n - 1.0)));
+  r.p_max = std::clamp(p_u, 1e-12, 1.0);
+  r.h_min = std::min(-std::log2(r.p_max), 1.0);
+  return r;
+}
+
+/// Per-length tuple statistics: the maximum count and the number of pairs
+/// of equal tuples (sum over values of C(c,2)), for overlapping windows of
+/// length `len`.
+struct TupleStats {
+  std::uint64_t max_count = 0;
+  double collision_pairs = 0.0;
+};
+
+TupleStats tuple_stats(const BitStream& bits, std::size_t len) {
+  TupleStats st;
+  const std::size_t n = bits.size();
+  if (len == 0 || len > 63 || n < len) return st;
+  const std::uint64_t mask =
+      len == 63 ? ~std::uint64_t{0} >> 1 : (std::uint64_t{1} << len) - 1;
+  const auto account = [&](std::uint64_t count) {
+    st.max_count = std::max(st.max_count, count);
+    st.collision_pairs +=
+        0.5 * static_cast<double>(count) * static_cast<double>(count - 1);
+  };
+  if (len <= kFlatLimit) {
+    std::vector<std::uint32_t> counts(std::size_t{1} << len, 0);
+    std::uint64_t window = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      window = ((window << 1) | (bits[i] ? 1u : 0u)) & mask;
+      if (i + 1 >= len) ++counts[window];
+    }
+    for (std::uint32_t c : counts) {
+      if (c > 1) account(c);
+      else st.max_count = std::max<std::uint64_t>(st.max_count, c);
+    }
+  } else {
+    std::unordered_map<std::uint64_t, std::uint32_t> counts;
+    counts.reserve(n);
+    std::uint64_t window = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      window = ((window << 1) | (bits[i] ? 1u : 0u)) & mask;
+      if (i + 1 >= len) ++counts[window];
+    }
+    for (const auto& [value, c] : counts) {
+      (void)value;
+      if (c > 1) account(c);
+      else st.max_count = std::max<std::uint64_t>(st.max_count, c);
+    }
+  }
+  return st;
+}
+
+}  // namespace
+
+EstimatorResult t_tuple(const BitStream& bits) {
+  const std::size_t n = bits.size();
+  // Find t: the largest tuple length whose most common tuple appears at
+  // least 35 times; P_max over lengths 1..t of (max_count / windows)^(1/i).
+  double p_hat = 0.0;
+  for (std::size_t len = 1; len <= 63; ++len) {
+    const TupleStats st = tuple_stats(bits, len);
+    if (st.max_count < 35) break;
+    const double windows = static_cast<double>(n - len + 1);
+    const double p_len = std::pow(
+        static_cast<double>(st.max_count) / windows,
+        1.0 / static_cast<double>(len));
+    p_hat = std::max(p_hat, p_len);
+  }
+  if (p_hat == 0.0) p_hat = 0.5;
+  return bounded("t-Tuple", p_hat, static_cast<double>(n));
+}
+
+EstimatorResult lrs(const BitStream& bits) {
+  const std::size_t n = bits.size();
+  // u: one past the largest length with max count >= 35 (where t-Tuple
+  // stops); v: the longest length that still has any repeated tuple.
+  std::size_t u = 1;
+  while (u <= 63 && tuple_stats(bits, u).max_count >= 35) ++u;
+  double p_hat = 0.0;
+  for (std::size_t len = u; len <= 63; ++len) {
+    const TupleStats st = tuple_stats(bits, len);
+    if (st.collision_pairs < 1.0) break;  // no repeats at this length
+    const double windows = static_cast<double>(n - len + 1);
+    const double total_pairs = 0.5 * windows * (windows - 1.0);
+    const double p_w = st.collision_pairs / total_pairs;
+    p_hat = std::max(p_hat, std::pow(p_w, 1.0 / static_cast<double>(len)));
+  }
+  if (p_hat == 0.0) p_hat = 0.5;
+  return bounded("LRS", p_hat, static_cast<double>(n));
+}
+
+}  // namespace dhtrng::stats::sp800_90b

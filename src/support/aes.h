@@ -1,0 +1,32 @@
+// AES-128/-256 block encryption (FIPS 197), encrypt-only — the block
+// cipher behind the CTR_DRBG construction (core/drbg.h counterpart of
+// SP 800-90A section 10.2.1).  Validated against the FIPS known-answer
+// vectors in the tests.  Table-based implementation; this library's AES is
+// for simulation-study plumbing, not constant-time production use (the
+// header says so, loudly).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace dhtrng::support {
+
+class Aes {
+ public:
+  /// Key must be 16 (AES-128) or 32 (AES-256) bytes.
+  explicit Aes(const std::vector<std::uint8_t>& key);
+
+  /// Encrypt one 16-byte block in place.
+  void encrypt_block(std::uint8_t block[16]) const;
+
+  std::size_t rounds() const { return rounds_; }
+
+ private:
+  std::size_t rounds_;
+  // Round keys: 4*(rounds+1) 32-bit words.
+  std::array<std::uint32_t, 60> round_keys_{};
+};
+
+}  // namespace dhtrng::support

@@ -1,0 +1,92 @@
+#include "support/berlekamp_massey.h"
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "support/bitstream.h"
+
+namespace dhtrng::support {
+
+namespace {
+
+// Fixed-width bit vector helpers (width = number of 64-bit words).
+
+void shift_right_xor(std::vector<std::uint64_t>& dst,
+                     const std::vector<std::uint64_t>& src,
+                     std::size_t shift) {
+  // dst ^= src >> shift   (logical shift across words; bit i of src lands on
+  // bit i - shift of dst).
+  const std::size_t word_shift = shift >> 6;
+  const std::size_t bit_shift = shift & 63;
+  const std::size_t words = dst.size();
+  for (std::size_t w = 0; w + word_shift < words; ++w) {
+    std::uint64_t v = src[w + word_shift] >> bit_shift;
+    if (bit_shift != 0 && w + word_shift + 1 < words) {
+      v |= src[w + word_shift + 1] << (64 - bit_shift);
+    }
+    dst[w] ^= v;
+  }
+}
+
+std::uint64_t and_parity_shifted(const std::vector<std::uint64_t>& a,
+                                 const std::vector<std::uint64_t>& b,
+                                 std::size_t b_shift) {
+  // parity( a & (b >> b_shift) )
+  const std::size_t word_shift = b_shift >> 6;
+  const std::size_t bit_shift = b_shift & 63;
+  const std::size_t words = a.size();
+  std::uint64_t acc = 0;
+  for (std::size_t w = 0; w + word_shift < words; ++w) {
+    std::uint64_t v = b[w + word_shift] >> bit_shift;
+    if (bit_shift != 0 && w + word_shift + 1 < words) {
+      v |= b[w + word_shift + 1] << (64 - bit_shift);
+    }
+    acc ^= a[w] & v;
+  }
+  return static_cast<std::uint64_t>(std::popcount(acc)) & 1u;
+}
+
+}  // namespace
+
+std::size_t linear_complexity(const BitStream& bits, std::size_t begin,
+                              std::size_t len) {
+  if (len == 0) return 0;
+  // Word-parallel Berlekamp-Massey.  The connection polynomials C and B are
+  // kept bit-reversed within a width-len window (bit (len-1-i) holds
+  // coefficient c_i), so the discrepancy
+  //     d_n = XOR_{i=0..L} c_i * s_{n-i}
+  // becomes a masked popcount-parity of S with C shifted right by
+  // (len-1-n), and the update C ^= B * x^(n-m) becomes a right shift.
+  const std::size_t words = (len + 63) / 64;
+  std::vector<std::uint64_t> s(words, 0);
+  for (std::size_t i = 0; i < len; ++i) {
+    if (bits[begin + i]) s[i >> 6] |= 1ULL << (i & 63);
+  }
+  std::vector<std::uint64_t> c(words, 0), b(words, 0), t;
+  const auto set_top = [&](std::vector<std::uint64_t>& v) {
+    v[(len - 1) >> 6] |= 1ULL << ((len - 1) & 63);
+  };
+  set_top(c);  // C(x) = 1
+  set_top(b);  // B(x) = 1
+  std::size_t l = 0;
+  // m is the index of the last length change; the textbook initial value is
+  // -1, which unsigned wraparound reproduces exactly (n - m == n + 1).
+  std::size_t m = static_cast<std::size_t>(-1);
+  for (std::size_t n = 0; n < len; ++n) {
+    const std::uint64_t d = and_parity_shifted(s, c, len - 1 - n);
+    if (d == 0) continue;
+    if (2 * l <= n) {
+      t = c;
+      shift_right_xor(c, b, n - m);
+      b = std::move(t);
+      l = n + 1 - l;
+      m = n;
+    } else {
+      shift_right_xor(c, b, n - m);
+    }
+  }
+  return l;
+}
+
+}  // namespace dhtrng::support

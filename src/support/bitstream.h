@@ -1,0 +1,81 @@
+// Packed bit sequence container.
+//
+// Every TRNG backend emits into a BitStream and every statistical test
+// consumes one, so this is the common currency of the repository.  Bits are
+// stored LSB-first inside 64-bit words; indexing is in emission order.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dhtrng::support {
+
+class BitStream {
+ public:
+  BitStream() = default;
+  explicit BitStream(std::size_t nbits, bool value = false);
+
+  /// Parse from a string of '0'/'1' characters (whitespace ignored).
+  static BitStream from_string(const std::string& s);
+  /// Unpack bytes MSB-first (the usual transmission order of NIST data files).
+  static BitStream from_bytes(const std::vector<std::uint8_t>& bytes);
+
+  void push_back(bool bit);
+  void append(const BitStream& other);
+  void clear() { words_.clear(); size_ = 0; }
+  void reserve(std::size_t nbits) { words_.reserve((nbits + 63) / 64); }
+
+  bool operator[](std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void set(std::size_t i, bool v) {
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (v) words_[i >> 6] |= mask; else words_[i >> 6] &= ~mask;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Number of 1 bits in the whole stream.
+  std::size_t count_ones() const;
+  /// Number of 1 bits in [begin, begin+len).
+  std::size_t count_ones(std::size_t begin, std::size_t len) const;
+
+  /// Sub-sequence copy of [begin, begin+len).
+  BitStream slice(std::size_t begin, std::size_t len) const;
+
+  /// Interpret bits [begin, begin+len) as an unsigned integer, first bit is
+  /// the most significant (len <= 64).
+  std::uint64_t word(std::size_t begin, std::size_t len) const;
+
+  /// Pack to bytes MSB-first (padding the final byte with zeros).
+  std::vector<std::uint8_t> to_bytes() const;
+  std::string to_string() const;
+
+  bool operator==(const BitStream& other) const;
+
+  /// Bitwise XOR of two equal-length streams.
+  static BitStream exclusive_or(const BitStream& a, const BitStream& b);
+
+  /// 64 bits starting at position `pos` (LSB = bit at pos); bits past the
+  /// end read as 0.  Word-parallel building block.
+  std::uint64_t chunk64(std::size_t pos) const;
+
+  /// Hamming distance between the windows [off_a, off_a+len) and
+  /// [off_b, off_b+len) of this stream (word-parallel).
+  std::size_t hamming_distance(std::size_t off_a, std::size_t off_b,
+                               std::size_t len) const;
+
+  /// Write an ASCII PBM (P1) image, row-major, `width` bits per row.  Used by
+  /// the Figure 7 bitstream-image experiment.  `invert` renders 1 as white.
+  std::string to_pbm(std::size_t width, std::size_t height,
+                     bool invert = false) const;
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dhtrng::support

@@ -1,0 +1,97 @@
+#include "support/fft.h"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace dhtrng::support {
+
+namespace {
+
+void fft_impl(std::vector<std::complex<double>>& a, bool inverse) {
+  const std::size_t n = a.size();
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("fft: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = a[i + k];
+        const std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : a) x /= static_cast<double>(n);
+  }
+}
+
+}  // namespace
+
+void fft(std::vector<std::complex<double>>& data) { fft_impl(data, false); }
+
+void ifft(std::vector<std::complex<double>>& data) { fft_impl(data, true); }
+
+std::vector<std::complex<double>> dft(
+    const std::vector<std::complex<double>>& data) {
+  const std::size_t n = data.size();
+  if (n == 0) return {};
+  if ((n & (n - 1)) == 0) {
+    auto buf = data;
+    fft(buf);
+    return buf;
+  }
+  // Bluestein: X_k = conj(w_k) * sum_j (a_j w_j) * w_{k-j}, a circular
+  // convolution evaluated with power-of-two FFTs of length m >= 2n - 1.
+  // w_j = exp(-i pi j^2 / n); j^2 is reduced mod 2n to keep the angle small.
+  const std::size_t m = std::bit_ceil(2 * n - 1);
+  std::vector<std::complex<double>> w(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t j2 = static_cast<std::size_t>(
+        (static_cast<unsigned long long>(j) * j) % (2ULL * n));
+    const double angle = std::numbers::pi * static_cast<double>(j2) /
+                         static_cast<double>(n);
+    w[j] = {std::cos(angle), -std::sin(angle)};
+  }
+  std::vector<std::complex<double>> a(m, {0.0, 0.0}), b(m, {0.0, 0.0});
+  for (std::size_t j = 0; j < n; ++j) a[j] = data[j] * w[j];
+  b[0] = std::conj(w[0]);
+  for (std::size_t j = 1; j < n; ++j) {
+    b[j] = b[m - j] = std::conj(w[j]);
+  }
+  fft(a);
+  fft(b);
+  for (std::size_t j = 0; j < m; ++j) a[j] *= b[j];
+  ifft(a);
+  std::vector<std::complex<double>> out(n);
+  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * w[k];
+  return out;
+}
+
+std::vector<double> real_dft_magnitudes(const std::vector<double>& signal) {
+  const std::size_t n = signal.size();
+  if (n == 0) return {};
+  std::vector<std::complex<double>> buf(n);
+  for (std::size_t i = 0; i < n; ++i) buf[i] = {signal[i], 0.0};
+  const auto spectrum = dft(buf);
+  std::vector<double> mags(n / 2);
+  for (std::size_t i = 0; i < mags.size(); ++i) mags[i] = std::abs(spectrum[i]);
+  return mags;
+}
+
+}  // namespace dhtrng::support

@@ -1,0 +1,27 @@
+// Iterative radix-2 complex FFT.  Used by the SP 800-22 discrete Fourier
+// transform (spectral) test; sequence lengths there are up to 2^20, well
+// within double precision.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace dhtrng::support {
+
+/// In-place forward FFT.  data.size() must be a power of two (>= 1).
+void fft(std::vector<std::complex<double>>& data);
+
+/// In-place inverse FFT (scaled by 1/N).  data.size() must be a power of two.
+void ifft(std::vector<std::complex<double>>& data);
+
+/// Exact DFT of an arbitrary-length complex sequence via Bluestein's
+/// chirp-z algorithm (power-of-two sizes dispatch to the plain FFT).
+std::vector<std::complex<double>> dft(const std::vector<std::complex<double>>& data);
+
+/// Magnitudes of the first floor(n/2) frequency bins of the exact length-n
+/// DFT of a real signal (the SP 800-22 spectral-test convention; n need not
+/// be a power of two).
+std::vector<double> real_dft_magnitudes(const std::vector<double>& signal);
+
+}  // namespace dhtrng::support

@@ -1,0 +1,48 @@
+#include "support/gf2.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dhtrng::support {
+
+Gf2Matrix::Gf2Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), row_bits_(rows, 0) {
+  if (cols > 64) throw std::invalid_argument("Gf2Matrix: cols > 64");
+}
+
+std::size_t Gf2Matrix::rank() const {
+  std::vector<std::uint64_t> rows = row_bits_;
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols_ && rank < rows.size(); ++col) {
+    const std::uint64_t mask = 1ULL << col;
+    // Find a pivot row with a 1 in this column.
+    std::size_t pivot = rank;
+    while (pivot < rows.size() && (rows[pivot] & mask) == 0) ++pivot;
+    if (pivot == rows.size()) continue;
+    std::swap(rows[rank], rows[pivot]);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (r != rank && (rows[r] & mask)) rows[r] ^= rows[rank];
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+double gf2_full_rank_deficit_probability(std::size_t m, std::size_t deficit) {
+  // P(rank = r) for a random m x m binary matrix with r = m - d:
+  //   2^(r(2m-r) - m^2) * prod_{i=0}^{r-1} ((1-2^(i-m))^2 / (1-2^(i-r)))
+  // and r(2m-r) - m^2 = -d^2 (SP 800-22 section 3.5).
+  const double d = static_cast<double>(deficit);
+  const double dm = static_cast<double>(m);
+  const double r = dm - d;
+  double prod = 1.0;
+  for (std::size_t i = 0; i < m - deficit; ++i) {
+    const double di = static_cast<double>(i);
+    const double num = 1.0 - std::pow(2.0, di - dm);
+    const double den = 1.0 - std::pow(2.0, di - r);
+    prod *= num * num / den;
+  }
+  return std::pow(2.0, -d * d) * prod;
+}
+
+}  // namespace dhtrng::support

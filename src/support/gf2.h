@@ -1,0 +1,37 @@
+// Binary (GF(2)) matrix utilities for the SP 800-22 rank test.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace dhtrng::support {
+
+/// Dense binary matrix with up to 64 columns, one word per row.
+class Gf2Matrix {
+ public:
+  Gf2Matrix(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  bool get(std::size_t r, std::size_t c) const {
+    return (row_bits_[r] >> c) & 1u;
+  }
+  void set(std::size_t r, std::size_t c, bool v) {
+    if (v) row_bits_[r] |= 1ULL << c; else row_bits_[r] &= ~(1ULL << c);
+  }
+
+  /// Rank over GF(2) via word-parallel Gaussian elimination.
+  std::size_t rank() const;
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<std::uint64_t> row_bits_;
+};
+
+/// Probability that a random m x m binary matrix has rank m - d
+/// (d = 0, 1, ...), per the SP 800-22 rank-test derivation.
+double gf2_full_rank_deficit_probability(std::size_t m, std::size_t deficit);
+
+}  // namespace dhtrng::support

@@ -1,0 +1,45 @@
+#include "support/hmac.h"
+
+namespace dhtrng::support {
+
+namespace {
+constexpr std::size_t kBlock = 64;
+}
+
+HmacSha256::HmacSha256(const std::vector<std::uint8_t>& key) {
+  std::vector<std::uint8_t> k = key;
+  if (k.size() > kBlock) {
+    const Sha256::Digest d = Sha256::hash(k);
+    k.assign(d.begin(), d.end());
+  }
+  k.resize(kBlock, 0x00);
+
+  std::vector<std::uint8_t> ipad(kBlock);
+  opad_key_.resize(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad_key_[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+  inner_.update(ipad);
+}
+
+void HmacSha256::update(const std::uint8_t* data, std::size_t len) {
+  inner_.update(data, len);
+}
+
+Sha256::Digest HmacSha256::finish() {
+  const Sha256::Digest inner_digest = inner_.finish();
+  Sha256 outer;
+  outer.update(opad_key_);
+  outer.update(inner_digest.data(), inner_digest.size());
+  return outer.finish();
+}
+
+Sha256::Digest hmac_sha256(const std::vector<std::uint8_t>& key,
+                           const std::vector<std::uint8_t>& message) {
+  HmacSha256 mac(key);
+  mac.update(message);
+  return mac.finish();
+}
+
+}  // namespace dhtrng::support

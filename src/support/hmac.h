@@ -1,0 +1,34 @@
+// HMAC-SHA256 (FIPS 198-1), validated against the RFC 4231 test vectors.
+// Building block of the HMAC_DRBG construction in core/drbg.h.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/sha256.h"
+
+namespace dhtrng::support {
+
+/// One-shot HMAC-SHA256.
+Sha256::Digest hmac_sha256(const std::vector<std::uint8_t>& key,
+                           const std::vector<std::uint8_t>& message);
+
+/// Incremental HMAC for multi-part messages.
+class HmacSha256 {
+ public:
+  explicit HmacSha256(const std::vector<std::uint8_t>& key);
+
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(const std::vector<std::uint8_t>& data) {
+    update(data.data(), data.size());
+  }
+  void update(std::uint8_t byte) { update(&byte, 1); }
+
+  Sha256::Digest finish();
+
+ private:
+  std::vector<std::uint8_t> opad_key_;
+  Sha256 inner_;
+};
+
+}  // namespace dhtrng::support

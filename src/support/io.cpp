@@ -1,0 +1,56 @@
+#include "support/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dhtrng::support {
+
+namespace {
+
+std::ofstream open_out(const std::string& path, std::ios::openmode mode) {
+  std::ofstream out(path, mode);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  return out;
+}
+
+std::ifstream open_in(const std::string& path, std::ios::openmode mode) {
+  std::ifstream in(path, mode);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return in;
+}
+
+}  // namespace
+
+void write_binary(const BitStream& bits, const std::string& path) {
+  auto out = open_out(path, std::ios::binary);
+  const auto bytes = bits.to_bytes();
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+BitStream read_binary(const std::string& path, std::size_t nbits) {
+  auto in = open_in(path, std::ios::binary);
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  BitStream bits = BitStream::from_bytes(bytes);
+  if (nbits == 0) return bits;
+  if (nbits > bits.size()) {
+    throw std::runtime_error("read_binary: file shorter than requested");
+  }
+  return bits.slice(0, nbits);
+}
+
+void write_ascii(const BitStream& bits, const std::string& path) {
+  auto out = open_out(path, std::ios::out);
+  out << bits.to_string();
+}
+
+BitStream read_ascii(const std::string& path) {
+  auto in = open_in(path, std::ios::in);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return BitStream::from_string(ss.str());
+}
+
+}  // namespace dhtrng::support

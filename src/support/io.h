@@ -1,0 +1,26 @@
+// Bitstream file I/O, including the formats the external reference tools
+// consume: raw packed bytes (NIST SP 800-90B `ea_non_iid`-style input) and
+// the ASCII '0'/'1' "epsilon" format of the NIST SP 800-22 STS — so
+// streams generated here can be cross-checked against the official suites
+// and vice versa.
+#pragma once
+
+#include <string>
+
+#include "support/bitstream.h"
+
+namespace dhtrng::support {
+
+/// Write packed bytes (MSB-first per byte, zero-padded tail).
+void write_binary(const BitStream& bits, const std::string& path);
+
+/// Read packed bytes; `nbits` trims the zero-padded tail (0 = 8 * filesize).
+BitStream read_binary(const std::string& path, std::size_t nbits = 0);
+
+/// Write the STS ASCII epsilon format ('0'/'1' characters, no separators).
+void write_ascii(const BitStream& bits, const std::string& path);
+
+/// Read ASCII '0'/'1' (whitespace ignored).
+BitStream read_ascii(const std::string& path);
+
+}  // namespace dhtrng::support

@@ -1,0 +1,37 @@
+#include "support/rng.h"
+
+namespace dhtrng::support {
+
+double Xoshiro256::gaussian() noexcept {
+  if (gauss_valid_) {
+    gauss_valid_ = false;
+    return gauss_cache_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  gauss_cache_ = v * factor;
+  gauss_valid_ = true;
+  return u * factor;
+}
+
+double Xoshiro256::exponential(double mean) noexcept {
+  // 1 - uniform() is in (0, 1], so the log is finite.
+  return -mean * std::log(1.0 - uniform());
+}
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+}  // namespace dhtrng::support

@@ -1,0 +1,102 @@
+// Deterministic pseudo-random infrastructure used by the *simulation models*.
+//
+// Everything stochastic in this repository (gate jitter, metastable
+// resolution, sub-threshold latching, ...) draws from one of these engines
+// with an explicit 64-bit seed, so every experiment table is reproducible
+// bit-for-bit.  Note the layering: these PRNGs play the role of the physical
+// noise of the paper's FPGAs; the *product* of the simulated circuits is what
+// the statistical test suites in src/stats evaluate.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <limits>
+
+namespace dhtrng::support {
+
+/// SplitMix64 — used to expand a single user seed into independent stream
+/// seeds (one per noise source / gate / ring).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality 64-bit generator.  Satisfies
+/// std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+    gauss_valid_ = false;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Standard normal via Marsaglia polar method (cached pair).
+  double gaussian() noexcept;
+
+  /// Normal with given mean / standard deviation.
+  double gaussian(double mean, double sigma) noexcept {
+    return mean + sigma * gaussian();
+  }
+
+  /// Bernoulli trial.
+  bool bernoulli(double p_true) noexcept { return uniform() < p_true; }
+
+  /// Exponentially distributed with given mean (> 0).
+  double exponential(double mean) noexcept;
+
+  /// Uniform integer in [0, bound).
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+  double gauss_cache_ = 0.0;
+  bool gauss_valid_ = false;
+};
+
+}  // namespace dhtrng::support

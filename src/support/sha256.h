@@ -1,0 +1,47 @@
+// Self-contained SHA-256 (FIPS 180-4), used by the conditioning module as
+// the vetted conditioning component of SP 800-90B section 3.1.5.1.
+// Validated against the FIPS known-answer vectors in the tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dhtrng::support {
+
+class Sha256 {
+ public:
+  using Digest = std::array<std::uint8_t, 32>;
+
+  Sha256();
+
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(const std::vector<std::uint8_t>& data) {
+    update(data.data(), data.size());
+  }
+  void update(const std::string& data) {
+    update(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+  }
+
+  /// Finalize and return the digest; the object must be reset() before
+  /// further use.
+  Digest finish();
+
+  void reset();
+
+  /// One-shot convenience.
+  static Digest hash(const std::vector<std::uint8_t>& data);
+  static std::string hex(const Digest& digest);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::uint64_t bit_count_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace dhtrng::support

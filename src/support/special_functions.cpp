@@ -1,0 +1,96 @@
+#include "support/special_functions.h"
+
+#include <cmath>
+#include <limits>
+
+namespace dhtrng::support {
+
+namespace {
+
+constexpr double kMachEp = 1.11022302462515654042e-16;  // 2^-53
+constexpr double kMaxLog = 709.782712893383996732;
+constexpr double kBig = 4.503599627370496e15;
+constexpr double kBigInv = 2.22044604925031308085e-16;
+
+}  // namespace
+
+double igamc(double a, double x) {
+  if (x <= 0 || a <= 0) return 1.0;
+  if (x < 1.0 || x < a) return 1.0 - igam(a, x);
+
+  double ax = a * std::log(x) - x - std::lgamma(a);
+  if (ax < -kMaxLog) return 0.0;
+  ax = std::exp(ax);
+
+  // Continued fraction (Cephes).
+  double y = 1.0 - a;
+  double z = x + y + 1.0;
+  double c = 0.0;
+  double pkm2 = 1.0, qkm2 = x;
+  double pkm1 = x + 1.0, qkm1 = z * x;
+  double ans = pkm1 / qkm1;
+  double t;
+  do {
+    c += 1.0;
+    y += 1.0;
+    z += 2.0;
+    const double yc = y * c;
+    const double pk = pkm1 * z - pkm2 * yc;
+    const double qk = qkm1 * z - qkm2 * yc;
+    if (qk != 0.0) {
+      const double r = pk / qk;
+      t = std::fabs((ans - r) / r);
+      ans = r;
+    } else {
+      t = 1.0;
+    }
+    pkm2 = pkm1;
+    pkm1 = pk;
+    qkm2 = qkm1;
+    qkm1 = qk;
+    if (std::fabs(pk) > kBig) {
+      pkm2 *= kBigInv;
+      pkm1 *= kBigInv;
+      qkm2 *= kBigInv;
+      qkm1 *= kBigInv;
+    }
+  } while (t > kMachEp);
+  return ans * ax;
+}
+
+double igam(double a, double x) {
+  if (x <= 0 || a <= 0) return 0.0;
+  if (x > 1.0 && x > a) return 1.0 - igamc(a, x);
+
+  double ax = a * std::log(x) - x - std::lgamma(a);
+  if (ax < -kMaxLog) return 0.0;
+  ax = std::exp(ax);
+
+  // Power series (Cephes).
+  double r = a;
+  double c = 1.0;
+  double ans = 1.0;
+  do {
+    r += 1.0;
+    c *= x / r;
+    ans += c;
+  } while (c / ans > kMachEp);
+  return ans * ax / a;
+}
+
+double normal_cdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double normal_q(double x) {
+  return 0.5 * std::erfc(x / std::sqrt(2.0));
+}
+
+double erfc(double x) { return std::erfc(x); }
+
+double chi_square_p_value(double x, double degrees_of_freedom) {
+  if (degrees_of_freedom <= 0) return std::numeric_limits<double>::quiet_NaN();
+  return igamc(degrees_of_freedom / 2.0, x / 2.0);
+}
+
+}  // namespace dhtrng::support

@@ -1,0 +1,34 @@
+// Special functions needed by the statistical test suites: the regularized
+// incomplete gamma functions (chi-square tail probabilities), the normal
+// CDF / Q-function (paper Eq. 2), and erfc wrappers.
+//
+// igam/igamc follow the classic Cephes series / continued-fraction split,
+// which is also what the NIST STS reference implementation uses, so p-values
+// agree with published NIST worked examples.
+#pragma once
+
+namespace dhtrng::support {
+
+/// Regularized lower incomplete gamma P(a, x).
+double igam(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double igamc(double a, double x);
+
+/// Standard normal cumulative distribution function.
+double normal_cdf(double x);
+
+/// Gaussian Q-function, Q(x) = 1 - normal_cdf(x).  This is the paper's
+/// Eq. (2): the probability a metastable flip-flop settles to 1 given the
+/// normalized sampling offset x = delta / sigma.
+double normal_q(double x);
+
+/// Complementary error function (thin wrapper over std::erfc, centralises
+/// the dependency).
+double erfc(double x);
+
+/// Survival function of a chi-square distribution with k degrees of freedom
+/// evaluated at x, i.e. the p-value of a chi-square statistic.
+double chi_square_p_value(double x, double degrees_of_freedom);
+
+}  // namespace dhtrng::support

@@ -1,0 +1,92 @@
+// Cross-validation of the two DH-TRNG backends: the fast phase-domain model
+// must be statistically consistent with the event-driven gate-level netlist
+// (DESIGN.md section 6).  We compare distribution-level properties — bias,
+// serial correlation, run-length distribution — not bit-for-bit equality
+// (the backends use different noise representations).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dhtrng.h"
+#include "stats/correlation.h"
+
+namespace dhtrng::core {
+namespace {
+
+support::BitStream generate(Backend backend, std::uint64_t seed,
+                            std::size_t nbits) {
+  DhTrng t{{.seed = seed, .backend = backend}};
+  return t.generate(nbits);
+}
+
+TEST(BackendEquivalence, BothBalanced) {
+  const auto fast = generate(Backend::Fast, 21, 20000);
+  const auto gate = generate(Backend::GateLevel, 21, 20000);
+  EXPECT_LT(stats::bias_percent(fast), 2.5);
+  EXPECT_LT(stats::bias_percent(gate), 2.5);
+}
+
+TEST(BackendEquivalence, BothLowAutocorrelation) {
+  const auto fast = generate(Backend::Fast, 22, 20000);
+  const auto gate = generate(Backend::GateLevel, 22, 20000);
+  for (std::size_t lag = 0; lag < 5; ++lag) {
+    EXPECT_LT(std::abs(stats::autocorrelation(fast, 5)[lag]), 0.05);
+    EXPECT_LT(std::abs(stats::autocorrelation(gate, 5)[lag]), 0.05);
+  }
+}
+
+TEST(BackendEquivalence, RunLengthDistributionsAgree) {
+  const auto runs_histogram = [](const support::BitStream& bits) {
+    std::array<double, 6> h{};
+    std::size_t run = 1, total = 0;
+    for (std::size_t i = 1; i < bits.size(); ++i) {
+      if (bits[i] == bits[i - 1]) {
+        ++run;
+      } else {
+        ++h[std::min<std::size_t>(run, 6) - 1];
+        ++total;
+        run = 1;
+      }
+    }
+    for (auto& v : h) v /= static_cast<double>(total);
+    return h;
+  };
+  const auto fast = runs_histogram(generate(Backend::Fast, 23, 40000));
+  const auto gate = runs_histogram(generate(Backend::GateLevel, 23, 40000));
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(fast[i], gate[i], 0.05) << "run length " << i + 1;
+  }
+  // And both near the ideal geometric distribution 2^-k.
+  EXPECT_NEAR(fast[0], 0.5, 0.05);
+  EXPECT_NEAR(gate[0], 0.5, 0.05);
+}
+
+TEST(BackendEquivalence, GateLevelIsDeterministicPerSeed) {
+  EXPECT_EQ(generate(Backend::GateLevel, 5, 3000),
+            generate(Backend::GateLevel, 5, 3000));
+  EXPECT_NE(generate(Backend::GateLevel, 5, 3000),
+            generate(Backend::GateLevel, 6, 3000));
+}
+
+TEST(BackendEquivalence, GateLevelRestartDiverges) {
+  DhTrng t{{.seed = 31, .backend = Backend::GateLevel}};
+  const auto a = t.generate(1000);
+  t.restart();
+  const auto b = t.generate(1000);
+  EXPECT_NE(a, b);
+}
+
+TEST(BackendEquivalence, GateLevelExercisesMetastability) {
+  DhTrng t{{.seed = 32, .backend = Backend::GateLevel}};
+  t.generate(3000);
+  ASSERT_NE(t.simulator(), nullptr);
+  EXPECT_GT(t.simulator()->metastable_samples(), 0u);
+}
+
+TEST(BackendEquivalence, FastBackendHasNoSimulator) {
+  DhTrng t{{.seed = 33}};
+  EXPECT_EQ(t.simulator(), nullptr);
+}
+
+}  // namespace
+}  // namespace dhtrng::core

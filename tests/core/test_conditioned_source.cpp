@@ -1,0 +1,96 @@
+#include "core/conditioned_source.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dhtrng.h"
+#include "stats/correlation.h"
+#include "support/rng.h"
+
+namespace dhtrng::core {
+namespace {
+
+/// Raw source that turns into a stuck-at-1 generator after `good_bits`.
+class DegradingTrng final : public TrngSource {
+ public:
+  explicit DegradingTrng(std::size_t good_bits)
+      : good_bits_(good_bits), rng_(1) {}
+  std::string name() const override { return "degrading"; }
+  bool next_bit() override {
+    return emitted_++ < good_bits_ ? rng_.bernoulli(0.5) : true;
+  }
+  void restart() override { emitted_ = 0; }
+  sim::ResourceCounts resources() const override { return {}; }
+  double clock_mhz() const override { return 1.0; }
+  fpga::ActivityEstimate activity() const override { return {}; }
+
+ private:
+  std::size_t good_bits_;
+  std::size_t emitted_ = 0;
+  support::Xoshiro256 rng_;
+};
+
+TEST(ConditionedSource, PassThroughKeepsRate) {
+  DhTrng raw({.seed = 1});
+  ConditionedSource source(raw, {.conditioning = Conditioning::None});
+  const auto bits = source.generate(20000);
+  EXPECT_EQ(bits.size(), 20000u);
+  EXPECT_DOUBLE_EQ(source.stats().rate(), 1.0);
+  EXPECT_TRUE(source.healthy());
+}
+
+TEST(ConditionedSource, VonNeumannQuartersRate) {
+  DhTrng raw({.seed = 2});
+  ConditionedSource source(raw, {.conditioning = Conditioning::VonNeumann});
+  source.generate(10000);
+  EXPECT_NEAR(source.stats().rate(), 0.25, 0.02);
+}
+
+TEST(ConditionedSource, Xor4QuartersRateExactly) {
+  DhTrng raw({.seed = 3});
+  ConditionedSource source(raw, {.conditioning = Conditioning::Xor4});
+  source.generate(8192);
+  EXPECT_DOUBLE_EQ(source.stats().rate(), 0.25);
+}
+
+TEST(ConditionedSource, Sha256RateMatchesEntropyBudget) {
+  DhTrng raw({.seed = 4});
+  ConditionedSourceConfig cfg;
+  cfg.conditioning = Conditioning::Sha256;
+  cfg.claimed_min_entropy = 0.9;  // block = ceil(512/0.9) = 569
+  ConditionedSource source(raw, cfg);
+  source.generate(8192);
+  // Rate = 256 / 569 ~ 0.45 per input block, times block utilization.
+  EXPECT_NEAR(source.stats().rate(), 256.0 / 569.0, 0.05);
+}
+
+TEST(ConditionedSource, OutputStaysBalanced) {
+  DhTrng raw({.seed = 5});
+  ConditionedSource source(raw, {.conditioning = Conditioning::Sha256});
+  EXPECT_LT(stats::bias_percent(source.generate(30000)), 1.5);
+}
+
+TEST(ConditionedSource, StartupFailureThrows) {
+  DegradingTrng raw(10);  // stuck almost immediately
+  EXPECT_THROW(ConditionedSource(raw, {}), EntropySourceFailure);
+}
+
+TEST(ConditionedSource, OnlineAlarmThrows) {
+  DegradingTrng raw(20000);  // healthy through startup, then stuck
+  ConditionedSource source(raw, {});
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 100000; ++i) source.next_bit();
+      },
+      EntropySourceFailure);
+  EXPECT_FALSE(source.healthy());
+}
+
+TEST(ConditionedSource, DhTrngRunsCleanForMillionsOfBits) {
+  DhTrng raw({.seed = 6});
+  ConditionedSource source(raw, {});
+  EXPECT_NO_THROW(source.generate(1000000));
+  EXPECT_TRUE(source.healthy());
+}
+
+}  // namespace
+}  // namespace dhtrng::core

@@ -1,0 +1,68 @@
+#include "core/dhtrng_array.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/correlation.h"
+
+namespace dhtrng::core {
+namespace {
+
+TEST(DhTrngArray, RejectsZeroCores) {
+  EXPECT_THROW(DhTrngArray({.core = {}, .cores = 0}), std::invalid_argument);
+}
+
+TEST(DhTrngArray, ThroughputScalesLinearly) {
+  DhTrngArray one({.core = {.seed = 1}, .cores = 1});
+  DhTrngArray four({.core = {.seed = 1}, .cores = 4});
+  EXPECT_NEAR(four.throughput_mbps(), 4.0 * one.throughput_mbps(), 1e-9);
+  EXPECT_DOUBLE_EQ(four.clock_mhz(), one.clock_mhz());
+}
+
+TEST(DhTrngArray, ResourcesScaleLinearly) {
+  DhTrngArray array({.core = {.seed = 2}, .cores = 3});
+  const auto rc = array.resources();
+  EXPECT_EQ(rc.luts, 3u * 23u);
+  EXPECT_EQ(rc.muxes, 3u * 4u);
+  EXPECT_EQ(rc.dffs, 3u * 14u);
+  EXPECT_EQ(array.slice_report().slice_count(), 3u * 8u);
+}
+
+TEST(DhTrngArray, CoresAreIndependentlySeeded) {
+  // Interleaved output from 2 cores must not be a duplicated single core.
+  DhTrngArray array({.core = {.seed = 3}, .cores = 2});
+  support::BitStream even, odd;
+  for (int i = 0; i < 4000; ++i) {
+    even.push_back(array.next_bit());
+    odd.push_back(array.next_bit());
+  }
+  EXPECT_NE(even, odd);
+}
+
+TEST(DhTrngArray, InterleavedOutputBalanced) {
+  DhTrngArray array({.core = {.seed = 4}, .cores = 4});
+  EXPECT_LT(stats::bias_percent(array.generate(50000)), 1.5);
+}
+
+TEST(DhTrngArray, SharedPllAmortizes) {
+  DhTrngArray one({.core = {.seed = 5}, .cores = 1});
+  DhTrngArray eight({.core = {.seed = 5}, .cores = 8});
+  const auto a1 = one.activity();
+  const auto a8 = eight.activity();
+  EXPECT_DOUBLE_EQ(a8.clock_mhz, a1.clock_mhz);        // one PLL
+  EXPECT_EQ(a8.flip_flops, 8u * a1.flip_flops);        // 8x loads
+}
+
+TEST(DhTrngArray, RestartResetsAllCores) {
+  DhTrngArray array({.core = {.seed = 6}, .cores = 2});
+  const auto a = array.generate(1000);
+  array.restart();
+  EXPECT_NE(a, array.generate(1000));
+}
+
+TEST(DhTrngArray, NameEncodesCoreCount) {
+  DhTrngArray array({.core = {.seed = 7}, .cores = 5});
+  EXPECT_EQ(array.name(), "DH-TRNG x5");
+}
+
+}  // namespace
+}  // namespace dhtrng::core

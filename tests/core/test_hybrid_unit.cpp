@@ -1,0 +1,100 @@
+#include "core/hybrid_unit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dhtrng::core {
+namespace {
+
+const noise::PvtScaling kNominal{1.0, 1.0, 1.0};
+constexpr double kDt = 1612.9;       // ~620 MHz sampling
+constexpr double kAperture = 12.0;
+
+TEST(HybridUnit, OutputIsXorOfQ1Q2) {
+  HybridUnit unit(default_hybrid_params(), 1);
+  for (int i = 0; i < 1000; ++i) {
+    const HybridSample s = unit.sample(kDt, 0.0, kNominal, kAperture);
+    EXPECT_EQ(s.out, s.q1 ^ s.q2);
+  }
+}
+
+TEST(HybridUnit, OutputIsNearlyUnbiased) {
+  HybridUnit unit(default_hybrid_params(), 2);
+  int ones = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    ones += unit.sample(kDt, 0.0, kNominal, kAperture).out ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.5, 0.01);
+}
+
+TEST(HybridUnit, HoldingRegionProducesMetastableSamples) {
+  HybridUnit unit(default_hybrid_params(), 3);
+  int metastable = 0, held = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const HybridSample s = unit.sample(kDt, 0.0, kNominal, kAperture);
+    if (s.r1) {
+      ++held;
+      metastable += s.q2_metastable ? 1 : 0;
+    }
+  }
+  ASSERT_GT(held, n / 10);
+  // With hold_capture_prob = 0.4 plus the edge term, a large share of the
+  // held samples must be metastable — the paper's core mechanism.
+  EXPECT_GT(static_cast<double>(metastable) / held, 0.3);
+}
+
+TEST(HybridUnit, DisablingHoldCaptureReducesMetastability) {
+  HybridUnitParams p = default_hybrid_params();
+  p.hold_capture_prob = 0.0;
+  p.pulse_smoothing = 1.0;
+  HybridUnit weak(p, 4);
+  HybridUnit strong(default_hybrid_params(), 4);
+  int weak_meta = 0, strong_meta = 0;
+  for (int i = 0; i < 50000; ++i) {
+    weak_meta += weak.sample(kDt, 0.0, kNominal, kAperture).q2_metastable;
+    strong_meta += strong.sample(kDt, 0.0, kNominal, kAperture).q2_metastable;
+  }
+  EXPECT_LT(weak_meta, strong_meta / 2);
+}
+
+TEST(HybridUnit, R1FollowsRo1Duty) {
+  HybridUnit unit(default_hybrid_params(), 5);
+  int high = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    high += unit.sample(kDt, 0.0, kNominal, kAperture).r1 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(high) / n, unit.ro1().duty(), 0.05);
+}
+
+TEST(HybridUnit, ResetRestoresRingPhases) {
+  HybridUnit unit(default_hybrid_params(), 6);
+  const double p1 = unit.ro1().phase();
+  const double p2 = unit.ro2().phase();
+  for (int i = 0; i < 100; ++i) unit.sample(kDt, 0.0, kNominal, kAperture);
+  unit.reset();
+  EXPECT_DOUBLE_EQ(unit.ro1().phase(), p1);
+  EXPECT_DOUBLE_EQ(unit.ro2().phase(), p2);
+}
+
+TEST(HybridUnit, DeterministicForSeed) {
+  HybridUnit a(default_hybrid_params(), 7);
+  HybridUnit b(default_hybrid_params(), 7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.sample(kDt, 0.0, kNominal, kAperture).out,
+              b.sample(kDt, 0.0, kNominal, kAperture).out);
+  }
+}
+
+TEST(HybridUnit, DefaultParamsAreFrequencyDiverse) {
+  const HybridUnitParams p = default_hybrid_params();
+  EXPECT_NE(p.ro1.stage_delay_ps, p.ro2.stage_delay_ps);
+  EXPECT_GT(p.hold_capture_prob, 0.0);
+  EXPECT_GT(p.pulse_smoothing, 1.0);
+}
+
+}  // namespace
+}  // namespace dhtrng::core

@@ -1,0 +1,95 @@
+#include "core/jitter_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ro.h"
+#include "sim/simulator.h"
+#include "support/rng.h"
+
+namespace dhtrng::core {
+namespace {
+
+TEST(JitterAnalysis, RejectsTooFewEdges) {
+  EXPECT_THROW(analyze_edge_times(std::vector<double>(5, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(JitterAnalysis, PerfectClockHasZeroJitter) {
+  std::vector<double> edges;
+  for (int i = 0; i < 256; ++i) edges.push_back(100.0 * i);
+  const auto a = analyze_edge_times(edges);
+  EXPECT_NEAR(a.mean_period_ps, 100.0, 1e-9);
+  EXPECT_NEAR(a.period_jitter_ps, 0.0, 1e-9);
+}
+
+TEST(JitterAnalysis, SyntheticWhiteFmScalesAsSqrt) {
+  // Periods = T + N(0, sigma): accumulated error over m cycles has
+  // sigma*sqrt(m) — the fitted exponent must come out near 0.5.
+  support::Xoshiro256 rng(7);
+  std::vector<double> edges = {0.0};
+  for (int i = 0; i < 20000; ++i) {
+    edges.push_back(edges.back() + 500.0 + rng.gaussian(0.0, 5.0));
+  }
+  const auto a = analyze_edge_times(edges);
+  EXPECT_NEAR(a.mean_period_ps, 500.0, 0.5);
+  EXPECT_NEAR(a.period_jitter_ps, 5.0, 0.5);
+  EXPECT_NEAR(a.scaling_exponent, 0.5, 0.08);
+}
+
+TEST(JitterAnalysis, LinearDriftScalesAsOne) {
+  // A frequency offset (deterministic drift) accumulates linearly: the
+  // exponent should approach 1 — how the analysis distinguishes entropy-
+  // bearing white jitter from non-entropic drift.
+  support::Xoshiro256 rng(8);
+  std::vector<double> edges = {0.0};
+  double period = 500.0;
+  for (int i = 0; i < 8000; ++i) {
+    period += 0.001;  // slow monotone drift
+    edges.push_back(edges.back() + period + rng.gaussian(0.0, 0.1));
+  }
+  const auto a = analyze_edge_times(edges);
+  EXPECT_GT(a.scaling_exponent, 0.8);
+}
+
+TEST(JitterAnalysis, GateLevelRingFollowsWhiteFmLaw) {
+  // The real validation: the event-driven simulator's per-edge Gaussian
+  // jitter must produce sqrt(m) accumulation on a ring node.
+  sim::Circuit c;
+  const sim::NetId en = c.add_net("en");
+  c.set_initial(en, true);
+  const sim::NetId out = build_ring_oscillator(c, "ro", 5, en, 100.0);
+  sim::SimConfig cfg;
+  cfg.seed = 9;
+  cfg.gate_jitter = {4.0, 0.01, 0.0};  // white-dominated
+  sim::Simulator sim(c, cfg);
+  sim.record_edges(out);
+  sim.run_until(6e6);  // ~6000 periods of 1 ns
+  const auto& edges = sim.edge_times(out);
+  ASSERT_GT(edges.size(), 4000u);
+  const auto a = analyze_edge_times(edges);
+  EXPECT_NEAR(a.mean_period_ps, 1000.0, 30.0);
+  EXPECT_GT(a.period_jitter_ps, 1.0);
+  EXPECT_NEAR(a.scaling_exponent, 0.5, 0.12);
+}
+
+TEST(JitterAnalysis, GateLevelJitterScalesWithConfig) {
+  const auto measure = [](double sigma) {
+    sim::Circuit c;
+    const sim::NetId en = c.add_net("en");
+    c.set_initial(en, true);
+    const sim::NetId out = build_ring_oscillator(c, "ro", 5, en, 100.0);
+    sim::SimConfig cfg;
+    cfg.seed = 10;
+    cfg.gate_jitter = {sigma, 0.01, 0.0};
+    sim::Simulator sim(c, cfg);
+    sim.record_edges(out);
+    sim.run_until(2e6);
+    return analyze_edge_times(sim.edge_times(out)).period_jitter_ps;
+  };
+  EXPECT_GT(measure(6.0), 2.0 * measure(1.5));
+}
+
+}  // namespace
+}  // namespace dhtrng::core

@@ -1,0 +1,68 @@
+#include "core/baselines/tero_trng.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/correlation.h"
+#include "stats/sp800_90b.h"
+
+namespace dhtrng::core {
+namespace {
+
+TEST(TeroTrng, PublishedFootprint) {
+  TeroTrng t{{}};
+  EXPECT_EQ(t.resources().luts, 40u);
+  EXPECT_EQ(t.resources().dffs, 29u);
+  EXPECT_NEAR(t.throughput_mbps(), 1.91, 1e-9);
+}
+
+TEST(TeroTrng, ParityBitNearFair) {
+  TeroTrng t({.seed = 1});
+  EXPECT_LT(stats::bias_percent(t.generate(200000)), 1.0);
+}
+
+TEST(TeroTrng, CountsSpreadAroundMean) {
+  TeroTrng t({.seed = 2});
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    t.next_bit();
+    sum += t.last_count();
+    sum2 += t.last_count() * t.last_count();
+  }
+  const double mean = sum / n;
+  const double sigma = std::sqrt(sum2 / n - mean * mean);
+  EXPECT_NEAR(mean, 60.0, 3.0);
+  EXPECT_NEAR(sigma, 9.0, 2.0);
+}
+
+TEST(TeroTrng, LowCountSigmaDegradesEntropy) {
+  // With the count sigma below one LSB the parity becomes deterministic —
+  // the failure mode a shrinking jitter-to-mismatch ratio causes in real
+  // TERO cells.
+  TeroConfig weak;
+  weak.seed = 3;
+  weak.count_sigma = 0.05;
+  TeroTrng t(weak);
+  const auto bits = t.generate(100000);
+  // The mismatch drift still wanders the mean across integers, so the
+  // marginal stays near-balanced — but the bit then only flips with the
+  // slow drift, which the Markov estimator nails.
+  EXPECT_LT(stats::sp800_90b::markov(bits).h_min, 0.3);
+}
+
+TEST(TeroTrng, RestartClearsDrift) {
+  TeroTrng t({.seed = 4});
+  t.generate(1000);
+  t.restart();
+  EXPECT_DOUBLE_EQ(t.last_count(), 0.0);
+}
+
+TEST(TeroTrng, HealthyEntropyAtDefaults) {
+  TeroTrng t({.seed = 5});
+  const auto bits = t.generate(150000);
+  EXPECT_GT(stats::sp800_90b::mcv(bits).h_min, 0.97);
+  EXPECT_GT(stats::sp800_90b::markov(bits).h_min, 0.95);
+}
+
+}  // namespace
+}  // namespace dhtrng::core

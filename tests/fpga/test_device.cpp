@@ -1,0 +1,52 @@
+#include "fpga/device.h"
+
+#include <gtest/gtest.h>
+
+namespace dhtrng::fpga {
+namespace {
+
+TEST(DeviceModel, PaperHeadlineClockRates) {
+  // Section 4.6: 670 Mbps on Virtex-6 and 620 Mbps on Artix-7, one bit per
+  // cycle over the 2-LUT-level sampling path.
+  EXPECT_NEAR(DeviceModel::virtex6().max_clock_mhz(2), 670.0, 10.0);
+  EXPECT_NEAR(DeviceModel::artix7().max_clock_mhz(2), 620.0, 10.0);
+}
+
+TEST(DeviceModel, ProcessNodes) {
+  EXPECT_EQ(DeviceModel::virtex6().process_nm, 45);
+  EXPECT_EQ(DeviceModel::artix7().process_nm, 28);
+  EXPECT_EQ(DeviceModel::virtex6().part, "xc6vlx240t");
+  EXPECT_EQ(DeviceModel::artix7().part, "xc7a100t");
+}
+
+TEST(DeviceModel, MoreLogicLevelsLowerClock) {
+  const DeviceModel d = DeviceModel::artix7();
+  EXPECT_GT(d.max_clock_mhz(1), d.max_clock_mhz(2));
+  EXPECT_GT(d.max_clock_mhz(2), d.max_clock_mhz(4));
+}
+
+TEST(DeviceModel, PllCapsClock) {
+  DeviceModel d = DeviceModel::artix7();
+  d.pll_max_mhz = 100.0;
+  EXPECT_DOUBLE_EQ(d.max_clock_mhz(1), 100.0);
+}
+
+TEST(DeviceModel, LowVoltageCornerIsSlower) {
+  const DeviceModel d = DeviceModel::artix7();
+  EXPECT_LT(d.max_clock_mhz(2, {20.0, 0.8}), d.max_clock_mhz(2));
+}
+
+TEST(DeviceModel, DffTimingForwardsConstants) {
+  const DeviceModel d = DeviceModel::virtex6();
+  const sim::DffTiming t = d.dff_timing();
+  EXPECT_DOUBLE_EQ(t.clk_to_q_ps, d.ff_clk_to_q_ps);
+  EXPECT_DOUBLE_EQ(t.aperture_sigma_ps, d.ff_aperture_sigma_ps);
+}
+
+TEST(DeviceModel, OlderProcessIsNoisier) {
+  EXPECT_GT(DeviceModel::virtex6().gate_jitter.white_sigma_ps,
+            DeviceModel::artix7().gate_jitter.white_sigma_ps);
+}
+
+}  // namespace
+}  // namespace dhtrng::fpga

@@ -1,0 +1,96 @@
+#include "fpga/slice_packer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/netlist.h"
+#include "fpga/device.h"
+
+namespace dhtrng::fpga {
+namespace {
+
+TEST(SlicePacker, DhTrngPacksIntoEightSlices) {
+  // The paper's headline area result (Section 3.3 / Figure 5b): the full
+  // design (23 LUTs + 4 MUXs + 14 DFFs in the paper's groups) fits 8 slices.
+  const auto netlist =
+      core::build_dhtrng_netlist(DeviceModel::artix7(), 620.0);
+  const SliceReport report = SlicePacker{}.pack(netlist.pack_groups);
+  EXPECT_EQ(report.slice_count(), 8u);
+  EXPECT_EQ(report.total_luts(), 23u);
+  EXPECT_EQ(report.total_muxes(), 4u);
+  EXPECT_EQ(report.total_dffs(), 14u);
+}
+
+TEST(SlicePacker, EntropySourceGroupIsThreeSlices) {
+  const SliceReport report =
+      SlicePacker{}.pack({PackGroup{"es", 10, 2, 0}});
+  EXPECT_EQ(report.slice_count(), 3u);
+}
+
+TEST(SlicePacker, SamplingArrayGroupIsTwoSlices) {
+  const SliceReport report =
+      SlicePacker{}.pack({PackGroup{"sa", 3, 0, 14}});
+  EXPECT_EQ(report.slice_count(), 2u);
+}
+
+TEST(SlicePacker, MuxPairsConsumeLutPositions) {
+  // 2 muxes pin 4 LUTs into slice 0; the 5th LUT overflows to a new slice.
+  const SliceReport report =
+      SlicePacker{}.pack({PackGroup{"g", 5, 2, 0}});
+  EXPECT_EQ(report.slice_count(), 2u);
+  EXPECT_EQ(report.slices()[0].muxes_used, 2u);
+  EXPECT_EQ(report.slices()[0].luts_used, 4u);
+  EXPECT_EQ(report.slices()[1].luts_used, 1u);
+}
+
+TEST(SlicePacker, FfsPackEightPerSlice) {
+  const SliceReport report = SlicePacker{}.pack({PackGroup{"g", 0, 0, 17}});
+  EXPECT_EQ(report.slice_count(), 3u);
+  EXPECT_EQ(report.total_dffs(), 17u);
+}
+
+TEST(SlicePacker, GroupsDoNotShareSlices) {
+  // Two groups of 1 LUT each must occupy two slices (type-constrained
+  // placement), not share one.
+  const SliceReport report = SlicePacker{}.pack(
+      {PackGroup{"a", 1, 0, 0}, PackGroup{"b", 1, 0, 0}});
+  EXPECT_EQ(report.slice_count(), 2u);
+}
+
+TEST(SlicePacker, PlacementIsNearSquareGrid) {
+  const SliceReport report = SlicePacker{}.pack({PackGroup{"g", 36, 0, 0}});
+  ASSERT_EQ(report.slice_count(), 9u);  // 36 LUTs / 4 per slice
+  for (const PackedSlice& s : report.slices()) {
+    EXPECT_GE(s.x, 0);
+    EXPECT_LT(s.x, 3);
+    EXPECT_GE(s.y, 0);
+    EXPECT_LT(s.y, 3);
+  }
+}
+
+TEST(SlicePacker, OriginOffsetsPlacement) {
+  const SliceReport report =
+      SlicePacker{}.pack({PackGroup{"g", 4, 0, 0}}, 10, 20);
+  EXPECT_EQ(report.slices()[0].x, 10);
+  EXPECT_EQ(report.slices()[0].y, 20);
+}
+
+TEST(SlicePacker, PacksWholeCircuitAsOneGroup) {
+  const auto netlist =
+      core::build_dhtrng_netlist(DeviceModel::artix7(), 620.0);
+  const SliceReport report =
+      SlicePacker{}.pack(netlist.circuit, "dh-trng");
+  // Unconstrained packing can be denser than the grouped layout but never
+  // below the resource bound: ceil(23+8 needed LUT slots / 4) etc.
+  EXPECT_LE(report.slice_count(), 8u);
+  EXPECT_GE(report.slice_count(), 6u);
+}
+
+TEST(SliceReport, ToStringListsSlices) {
+  const SliceReport report = SlicePacker{}.pack({PackGroup{"grp", 4, 1, 2}});
+  const std::string s = report.to_string();
+  EXPECT_NE(s.find("grp"), std::string::npos);
+  EXPECT_NE(s.find("total slices"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dhtrng::fpga

@@ -1,0 +1,100 @@
+#include "fpga/timing.h"
+
+#include <gtest/gtest.h>
+
+#include "core/netlist.h"
+
+namespace dhtrng::fpga {
+namespace {
+
+TEST(Timing, SimplePipelinePath) {
+  // FF -> gate(200) -> gate(300) -> FF: path = clk2q + 500 + setup.
+  sim::Circuit c;
+  const auto clk = c.add_net("clk");
+  c.add_clock(clk, 10000.0);
+  const auto q0 = c.add_net("q0"), a = c.add_net("a"), b = c.add_net("b");
+  const auto d1 = c.add_net("d1_in"), q1 = c.add_net("q1");
+  c.add_dff(clk, d1, q0);  // some upstream source for q0... use q0 as Q
+  // Rebuild cleanly: one launching FF with q = q0.
+  sim::Circuit c2;
+  const auto clk2 = c2.add_net("clk");
+  c2.add_clock(clk2, 10000.0);
+  const auto src = c2.add_net("src");
+  const auto qq = c2.add_net("q");
+  c2.add_dff(clk2, src, qq);
+  const auto n1 = c2.add_net("n1");
+  c2.add_gate(sim::GateKind::Inv, {qq}, n1, 700.0);
+  const auto n2 = c2.add_net("n2");
+  c2.add_gate(sim::GateKind::Buf, {n1}, n2, 800.0);
+  const auto q2 = c2.add_net("q2");
+  c2.add_dff(clk2, n2, q2);
+
+  const DeviceModel dev = DeviceModel::artix7();
+  const TimingReport report = analyze_timing(c2, dev);
+  EXPECT_EQ(report.critical.logic_levels, 2u);
+  EXPECT_NEAR(report.critical.delay_ps,
+              dev.ff_clk_to_q_ps + 1500.0 + dev.ff_setup_ps, 1e-9);
+  EXPECT_NEAR(report.max_clock_mhz, 1e6 / report.critical.delay_ps, 1e-6);
+  (void)c;
+  (void)a;
+  (void)b;
+  (void)d1;
+  (void)q1;
+}
+
+TEST(Timing, RingLoopsAreCutNotTimed) {
+  // A ring oscillator sampled by a FF has no register-to-register path;
+  // the report must not explode through the loop.
+  sim::Circuit c;
+  const auto clk = c.add_net("clk");
+  c.add_clock(clk, 2000.0);
+  const auto en = c.add_net("en");
+  c.set_initial(en, true);
+  const auto r0 = c.add_net("r0");
+  const auto r1 = c.add_net("r1");
+  c.add_gate(sim::GateKind::Nand, {en, r1}, r0, 150.0);
+  c.add_gate(sim::GateKind::Buf, {r0}, r1, 150.0);
+  const auto q = c.add_net("q");
+  c.add_dff(clk, r1, q);
+  const TimingReport report = analyze_timing(c, DeviceModel::artix7());
+  // The only FF's D comes from the (cut) loop -> no timed path at all.
+  EXPECT_DOUBLE_EQ(report.critical.delay_ps, 0.0);
+}
+
+TEST(Timing, DhTrngSamplingPathIsTwoLevels) {
+  // The paper's clock rates assume the sampling array's XOR tree is the
+  // critical register-to-register path: 2 logic levels (XOR6 -> XOR2).
+  const auto device = DeviceModel::artix7();
+  const auto netlist = core::build_dhtrng_netlist(device, 620.0);
+  const TimingReport report = analyze_timing(netlist.circuit, device);
+  EXPECT_EQ(report.critical.logic_levels, 2u);
+  // STA-derived max clock agrees with the DeviceModel's 2-level formula to
+  // within the local-vs-average net-delay modelling difference.
+  EXPECT_NEAR(report.max_clock_mhz, device.max_clock_mhz(2),
+              0.25 * device.max_clock_mhz(2));
+}
+
+TEST(Timing, ReportStringNamesNets) {
+  const auto device = DeviceModel::artix7();
+  const auto netlist = core::build_dhtrng_netlist(device, 620.0);
+  const TimingReport report = analyze_timing(netlist.circuit, device);
+  const std::string s = report.to_string(netlist.circuit);
+  EXPECT_NE(s.find("critical path"), std::string::npos);
+  EXPECT_NE(s.find("xt2"), std::string::npos);  // XOR-tree root on the path
+}
+
+TEST(Timing, FasterDeviceGivesHigherClock) {
+  const auto netlist_a7 =
+      core::build_dhtrng_netlist(DeviceModel::artix7(), 620.0);
+  const auto netlist_v6 =
+      core::build_dhtrng_netlist(DeviceModel::virtex6(), 670.0);
+  const double a7 =
+      analyze_timing(netlist_a7.circuit, DeviceModel::artix7()).max_clock_mhz;
+  const double v6 =
+      analyze_timing(netlist_v6.circuit, DeviceModel::virtex6()).max_clock_mhz;
+  EXPECT_GT(a7, 300.0);
+  EXPECT_GT(v6, 300.0);
+}
+
+}  // namespace
+}  // namespace dhtrng::fpga

@@ -1,0 +1,88 @@
+#include "noise/jitter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dhtrng::noise {
+namespace {
+
+TEST(SharedSupplyNoise, StationarySigma) {
+  SharedSupplyNoise noise(2.0, 5);
+  double sum2 = 0.0;
+  const int n = 200000;
+  // Burn in past the AR(1) transient first.
+  for (int i = 0; i < 2000; ++i) noise.step();
+  for (int i = 0; i < n; ++i) {
+    const double v = noise.step();
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(std::sqrt(sum2 / n), 2.0, 0.4);
+}
+
+TEST(SharedSupplyNoise, IsStronglyCorrelated) {
+  SharedSupplyNoise noise(1.0, 7, 0.995);
+  for (int i = 0; i < 1000; ++i) noise.step();
+  const double a = noise.step();
+  const double b = noise.step();
+  // Successive values move by at most ~ sqrt(1-rho^2)*sigma*few.
+  EXPECT_LT(std::abs(a - b), 1.0);
+}
+
+TEST(SharedSupplyNoise, CurrentReflectsLastStep) {
+  SharedSupplyNoise noise(1.0, 9);
+  const double v = noise.step();
+  EXPECT_DOUBLE_EQ(noise.current(), v);
+}
+
+TEST(EdgeJitterSource, Deterministic) {
+  const JitterParams p{1.0, 0.5, 0.0};
+  EdgeJitterSource a(p, 42), b(p, 42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.next_edge_jitter(), b.next_edge_jitter());
+  }
+}
+
+TEST(EdgeJitterSource, WhiteSigmaScalesOutput) {
+  const int n = 100000;
+  const auto measure = [&](double white_sigma, double scale_white) {
+    EdgeJitterSource src({white_sigma, 0.0001, 0.0}, 11);
+    PvtScaling scale{1.0, scale_white, 1.0};
+    double sum2 = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double j = src.next_edge_jitter(scale);
+      sum2 += j * j;
+    }
+    return std::sqrt(sum2 / n);
+  };
+  EXPECT_NEAR(measure(2.0, 1.0) / measure(1.0, 1.0), 2.0, 0.1);
+  EXPECT_NEAR(measure(1.0, 3.0) / measure(1.0, 1.0), 3.0, 0.1);
+}
+
+TEST(EdgeJitterSource, SharedNoiseIsCommonMode) {
+  SharedSupplyNoise shared(5.0, 3);
+  EdgeJitterSource a({0.001, 0.001, 1.0}, 1, &shared);
+  EdgeJitterSource b({0.001, 0.001, 1.0}, 2, &shared);
+  // With negligible white/flicker noise, both sources track the shared
+  // component; but each call steps the shared process, so consecutive
+  // calls see nearby (not identical) values.
+  double corr_num = 0.0, va = 0.0, vb = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double ja = a.next_edge_jitter();
+    const double jb = b.next_edge_jitter();
+    corr_num += ja * jb;
+    va += ja * ja;
+    vb += jb * jb;
+  }
+  EXPECT_GT(corr_num / std::sqrt(va * vb), 0.9);
+}
+
+TEST(EdgeJitterSource, ParamsAccessor) {
+  const JitterParams p{1.5, 0.25, 0.1};
+  EdgeJitterSource src(p, 1);
+  EXPECT_DOUBLE_EQ(src.params().white_sigma_ps, 1.5);
+  EXPECT_DOUBLE_EQ(src.params().flicker_sigma_ps, 0.25);
+}
+
+}  // namespace
+}  // namespace dhtrng::noise

@@ -1,0 +1,63 @@
+#include "noise/pvt.h"
+
+#include <gtest/gtest.h>
+
+namespace dhtrng::noise {
+namespace {
+
+constexpr double kVth = 0.4;
+constexpr double kAlpha = 1.3;
+
+TEST(Pvt, NominalCornerIsUnity) {
+  const PvtScaling s = pvt_scaling(PvtCondition::nominal(), kVth, kAlpha);
+  EXPECT_NEAR(s.delay, 1.0, 1e-12);
+  EXPECT_NEAR(s.white_jitter, 1.0, 1e-12);
+  EXPECT_NEAR(s.correlated_noise, 1.0, 1e-12);
+}
+
+TEST(Pvt, LowVoltageSlowsGates) {
+  const PvtScaling s = pvt_scaling({20.0, 0.8}, kVth, kAlpha);
+  EXPECT_GT(s.delay, 1.2);
+}
+
+TEST(Pvt, HighVoltageSpeedsGates) {
+  const PvtScaling s = pvt_scaling({20.0, 1.2}, kVth, kAlpha);
+  EXPECT_LT(s.delay, 1.0);
+}
+
+TEST(Pvt, HotIsSlower) {
+  const PvtScaling hot = pvt_scaling({80.0, 1.0}, kVth, kAlpha);
+  const PvtScaling cold = pvt_scaling({-20.0, 1.0}, kVth, kAlpha);
+  EXPECT_GT(hot.delay, 1.0);
+  EXPECT_LT(cold.delay, 1.0);
+}
+
+TEST(Pvt, ThermalJitterGrowsWithTemperature) {
+  const PvtScaling hot = pvt_scaling({80.0, 1.0}, kVth, kAlpha);
+  const PvtScaling cold = pvt_scaling({-20.0, 1.0}, kVth, kAlpha);
+  // sigma ~ sqrt(T) on top of the delay scaling.
+  EXPECT_GT(hot.white_jitter / hot.delay, 1.05);
+  EXPECT_LT(cold.white_jitter / cold.delay, 0.95);
+}
+
+TEST(Pvt, CorrelatedNoiseBowlsAtCorners) {
+  const double nominal =
+      pvt_scaling(PvtCondition::nominal(), kVth, kAlpha).correlated_noise;
+  for (const PvtCondition corner :
+       {PvtCondition{-20.0, 0.8}, PvtCondition{80.0, 0.8},
+        PvtCondition{-20.0, 1.2}, PvtCondition{80.0, 1.2}}) {
+    EXPECT_GT(pvt_scaling(corner, kVth, kAlpha).correlated_noise, nominal)
+        << corner.temperature_c << "C " << corner.voltage_v << "V";
+  }
+}
+
+TEST(Pvt, VoltageSymmetryIsApproximate) {
+  // The correlated-noise bowl is symmetric in voltage by construction,
+  // but the total (including the delay factor) is worse at low voltage.
+  const PvtScaling lo = pvt_scaling({20.0, 0.8}, kVth, kAlpha);
+  const PvtScaling hi = pvt_scaling({20.0, 1.2}, kVth, kAlpha);
+  EXPECT_GT(lo.correlated_noise, hi.correlated_noise);
+}
+
+}  // namespace
+}  // namespace dhtrng::noise

@@ -1,0 +1,72 @@
+#include "sim/vcd.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/ro.h"
+
+namespace dhtrng::sim {
+namespace {
+
+TEST(VcdTrace, CapturesRingActivity) {
+  Circuit c;
+  const NetId en = c.add_net("en");
+  c.set_initial(en, true);
+  const NetId out = core::build_ring_oscillator(c, "ro", 3, en, 100.0);
+  SimConfig cfg;
+  cfg.seed = 1;
+  Simulator sim(c, cfg);
+  VcdTrace trace(c, sim, {out, en}, 25.0);
+  trace.run_until(5000.0);
+  // ~8 periods of 600 ps -> at least a dozen transitions on `out`.
+  EXPECT_GT(trace.change_count(), 12u);
+}
+
+TEST(VcdTrace, WritesWellFormedDocument) {
+  Circuit c;
+  const NetId en = c.add_net("en");
+  c.set_initial(en, true);
+  const NetId out = core::build_ring_oscillator(c, "ro", 3, en, 100.0);
+  SimConfig cfg;
+  cfg.seed = 2;
+  Simulator sim(c, cfg);
+  VcdTrace trace(c, sim, {out}, 25.0);
+  trace.run_until(2000.0);
+  std::ostringstream os;
+  trace.write(os);
+  const std::string vcd = os.str();
+  EXPECT_NE(vcd.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1 ! ro_n2 $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(vcd.find("#0"), std::string::npos);
+  // Value lines: '0!' or '1!'.
+  EXPECT_TRUE(vcd.find("1!") != std::string::npos ||
+              vcd.find("0!") != std::string::npos);
+}
+
+TEST(VcdTrace, QuietNetProducesOnlyInitialDump) {
+  Circuit c;
+  const NetId idle = c.add_net("idle");
+  SimConfig cfg;
+  Simulator sim(c, cfg);
+  VcdTrace trace(c, sim, {idle}, 50.0);
+  trace.run_until(10000.0);
+  EXPECT_EQ(trace.change_count(), 1u);  // the initial value only
+}
+
+TEST(VcdTrace, ResolutionBoundsTimestamps) {
+  Circuit c;
+  const NetId en = c.add_net("en");
+  c.set_initial(en, true);
+  core::build_ring_oscillator(c, "ro", 3, en, 100.0);
+  SimConfig cfg;
+  cfg.seed = 3;
+  Simulator sim(c, cfg);
+  VcdTrace trace(c, sim, {c.net("ro_n0")}, 10.0);
+  trace.run_until(987.0);
+  EXPECT_GE(sim.now(), 987.0);
+}
+
+}  // namespace
+}  // namespace dhtrng::sim

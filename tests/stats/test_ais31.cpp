@@ -1,0 +1,154 @@
+#include "stats/ais31.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace dhtrng::stats::ais31 {
+namespace {
+
+using support::BitStream;
+
+BitStream ideal_bits(std::size_t n, std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  BitStream bs;
+  bs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) bs.push_back(rng.bernoulli(0.5));
+  return bs;
+}
+
+BitStream sequence(std::uint64_t seed) { return ideal_bits(20000, seed); }
+
+TEST(Ais31, RequiredBitsCoversProcedure) {
+  // T0 (3.1 Mbit) + 257 x 20 kbit + procedure B slices.
+  EXPECT_GT(required_bits(), 8000000u);
+  EXPECT_LT(required_bits(), 11000000u);
+}
+
+TEST(Ais31, T0PassesOnRandomFailsOnRepeats) {
+  EXPECT_TRUE(t0_disjointness(ideal_bits((1u << 16) * 48, 1)));
+  // Repeat one 48-bit block everywhere -> collision immediately.
+  BitStream repeated;
+  const BitStream block = ideal_bits(48, 2);
+  for (int i = 0; i < (1 << 16); ++i) repeated.append(block);
+  EXPECT_FALSE(t0_disjointness(repeated));
+}
+
+TEST(Ais31, T1MonobitBounds) {
+  EXPECT_TRUE(t1_monobit(sequence(3)));
+  BitStream ones(20000, true);
+  EXPECT_FALSE(t1_monobit(ones));
+  // Bias of 54% ones -> ~10800, outside (9654, 10346).
+  support::Xoshiro256 rng(4);
+  BitStream biased;
+  for (int i = 0; i < 20000; ++i) biased.push_back(rng.bernoulli(0.54));
+  EXPECT_FALSE(t1_monobit(biased));
+}
+
+TEST(Ais31, T2PokerCatchesPatterns) {
+  EXPECT_TRUE(t2_poker(sequence(5)));
+  // All nibbles identical -> astronomical chi-square.
+  BitStream patterned;
+  for (int i = 0; i < 5000; ++i) {
+    patterned.push_back(true);
+    patterned.push_back(false);
+    patterned.push_back(true);
+    patterned.push_back(false);
+  }
+  EXPECT_FALSE(t2_poker(patterned));
+}
+
+TEST(Ais31, T3RunsCatchesStickiness) {
+  EXPECT_TRUE(t3_runs(sequence(6)));
+  // Sticky Markov chain inflates long-run counts.
+  support::Xoshiro256 rng(7);
+  BitStream sticky;
+  bool cur = false;
+  for (int i = 0; i < 20000; ++i) {
+    sticky.push_back(cur);
+    cur = rng.bernoulli(0.75) ? cur : !cur;
+  }
+  EXPECT_FALSE(t3_runs(sticky));
+}
+
+TEST(Ais31, T4LongRunBoundary) {
+  EXPECT_TRUE(t4_long_run(sequence(8)));
+  BitStream with_long_run = sequence(9);
+  for (std::size_t i = 5000; i < 5034; ++i) with_long_run.set(i, true);
+  EXPECT_FALSE(t4_long_run(with_long_run));
+}
+
+TEST(Ais31, T5AutocorrelationCatchesLagStructure) {
+  EXPECT_TRUE(t5_autocorrelation(sequence(10)));
+  // Strong correlation at lag 37: bit[i] = bit[i-37] with 95% probability.
+  support::Xoshiro256 rng(11);
+  BitStream corr;
+  for (int i = 0; i < 20000; ++i) {
+    if (i < 37) {
+      corr.push_back(rng.bernoulli(0.5));
+    } else {
+      const bool prev = corr[static_cast<std::size_t>(i - 37)];
+      corr.push_back(rng.bernoulli(0.95) ? prev : !prev);
+    }
+  }
+  EXPECT_FALSE(t5_autocorrelation(corr));
+}
+
+TEST(Ais31, T6UniformDistribution) {
+  std::string detail;
+  EXPECT_TRUE(t6_uniform_distribution(ideal_bits(100000, 12), &detail));
+  EXPECT_FALSE(detail.empty());
+  support::Xoshiro256 rng(13);
+  BitStream biased;
+  for (int i = 0; i < 100000; ++i) biased.push_back(rng.bernoulli(0.54));
+  EXPECT_FALSE(t6_uniform_distribution(biased, nullptr));
+}
+
+TEST(Ais31, T7Homogeneity) {
+  std::string detail;
+  EXPECT_TRUE(t7_homogeneity(ideal_bits(100000, 14), &detail));
+  // First half sticky, second half anti-sticky -> inhomogeneous.
+  support::Xoshiro256 rng(15);
+  BitStream split;
+  bool cur = false;
+  for (int i = 0; i < 50000; ++i) {
+    split.push_back(cur);
+    cur = rng.bernoulli(0.6) ? cur : !cur;
+  }
+  for (int i = 0; i < 50000; ++i) {
+    split.push_back(cur);
+    cur = rng.bernoulli(0.4) ? cur : !cur;
+  }
+  EXPECT_FALSE(t7_homogeneity(split, nullptr));
+}
+
+TEST(Ais31, T8EntropyCoron) {
+  double f = 0.0;
+  EXPECT_TRUE(t8_entropy(ideal_bits((2560 + 256000) * 8, 16), &f));
+  EXPECT_GT(f, 7.976);
+  EXPECT_LT(f, 8.1);
+  // Biased source drops below the threshold.
+  support::Xoshiro256 rng(17);
+  BitStream biased;
+  for (std::size_t i = 0; i < (2560 + 256000) * 8; ++i) {
+    biased.push_back(rng.bernoulli(0.70));
+  }
+  EXPECT_FALSE(t8_entropy(biased, &f));
+}
+
+TEST(Ais31, RunAllThrowsOnShortInput) {
+  EXPECT_THROW(run_all(ideal_bits(1000, 18)), std::invalid_argument);
+}
+
+TEST(Ais31, RunAllPassesOnIdealData) {
+  const auto outcomes = run_all(ideal_bits(required_bits(), 19));
+  ASSERT_EQ(outcomes.size(), 9u);
+  for (const TestOutcome& o : outcomes) {
+    EXPECT_TRUE(o.pass) << o.name << " " << o.detail;
+  }
+  EXPECT_EQ(outcomes[0].name, "Disjointness Test (T0)");
+  EXPECT_EQ(outcomes[8].name, "Entropy Test (T8)");
+}
+
+}  // namespace
+}  // namespace dhtrng::stats::ais31

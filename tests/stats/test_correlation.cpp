@@ -1,0 +1,75 @@
+#include "stats/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.h"
+
+namespace dhtrng::stats {
+namespace {
+
+using support::BitStream;
+
+TEST(Autocorrelation, IdealDataIsNearZero) {
+  support::Xoshiro256 rng(1);
+  BitStream bs;
+  for (int i = 0; i < 200000; ++i) bs.push_back(rng.bernoulli(0.5));
+  for (double a : autocorrelation(bs, 100)) {
+    EXPECT_LT(std::abs(a), 0.02);
+  }
+}
+
+TEST(Autocorrelation, AlternatingSequenceIsMinusOneAtLag1) {
+  BitStream bs;
+  for (int i = 0; i < 10000; ++i) bs.push_back(i % 2 == 0);
+  const auto acf = autocorrelation(bs, 2);
+  EXPECT_NEAR(acf[0], -1.0, 1e-6);
+  EXPECT_NEAR(acf[1], 1.0, 1e-6);
+}
+
+TEST(Autocorrelation, PeriodicSignalPeaksAtPeriod) {
+  support::Xoshiro256 rng(2);
+  BitStream bs;
+  for (int i = 0; i < 100000; ++i) {
+    const bool base = (i % 10) < 5;
+    bs.push_back(rng.bernoulli(0.2) ? !base : base);
+  }
+  const auto acf = autocorrelation(bs, 20);
+  EXPECT_GT(acf[9], 0.2);   // lag 10
+  EXPECT_GT(acf[19], 0.2);  // lag 20
+  EXPECT_LT(acf[4], 0.0);   // half period anti-correlates
+}
+
+TEST(Autocorrelation, ConstantSequenceIsZeroByConvention) {
+  BitStream bs(1000, true);
+  for (double a : autocorrelation(bs, 5)) EXPECT_DOUBLE_EQ(a, 0.0);
+}
+
+TEST(Autocorrelation, ReturnsRequestedLagCount) {
+  support::Xoshiro256 rng(3);
+  BitStream bs;
+  for (int i = 0; i < 1000; ++i) bs.push_back(rng.bernoulli(0.5));
+  EXPECT_EQ(autocorrelation(bs, 100).size(), 100u);
+}
+
+TEST(Bias, FormulaMatchesEq6) {
+  BitStream bs;
+  // 6 ones, 4 zeros -> |6-4|/10 = 20%.
+  for (int i = 0; i < 6; ++i) bs.push_back(true);
+  for (int i = 0; i < 4; ++i) bs.push_back(false);
+  EXPECT_NEAR(bias_percent(bs), 20.0, 1e-12);
+}
+
+TEST(Bias, BalancedIsZero) {
+  BitStream bs;
+  for (int i = 0; i < 100; ++i) bs.push_back(i % 2 == 0);
+  EXPECT_DOUBLE_EQ(bias_percent(bs), 0.0);
+}
+
+TEST(Bias, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(bias_percent(BitStream{}), 0.0);
+}
+
+}  // namespace
+}  // namespace dhtrng::stats

@@ -1,0 +1,80 @@
+#include "stats/fips140.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace dhtrng::stats::fips140 {
+namespace {
+
+support::BitStream ideal_bits(std::size_t n, std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  support::BitStream bs;
+  for (std::size_t i = 0; i < n; ++i) bs.push_back(rng.bernoulli(0.5));
+  return bs;
+}
+
+TEST(Fips140, IdealSamplePassesAll) {
+  const auto sample = ideal_bits(kSampleBits, 1);
+  for (const Outcome& o : run_all(sample)) {
+    EXPECT_TRUE(o.pass) << o.name << " statistic " << o.statistic;
+  }
+  EXPECT_TRUE(power_up_ok(sample));
+}
+
+TEST(Fips140, RequiresFullSample) {
+  EXPECT_THROW(monobit(ideal_bits(1000, 2)), std::invalid_argument);
+}
+
+TEST(Fips140, MonobitBounds) {
+  support::Xoshiro256 rng(3);
+  support::BitStream biased;
+  for (std::size_t i = 0; i < kSampleBits; ++i) {
+    biased.push_back(rng.bernoulli(0.53));
+  }
+  EXPECT_FALSE(monobit(biased));
+  EXPECT_FALSE(power_up_ok(biased));
+}
+
+TEST(Fips140, PokerCatchesNibblePatterns) {
+  support::BitStream patterned;
+  for (std::size_t i = 0; i < kSampleBits; ++i) {
+    patterned.push_back((i % 4) < 2);  // nibbles all 1100
+  }
+  EXPECT_FALSE(poker(patterned));
+}
+
+TEST(Fips140, RunsCatchesStickiness) {
+  support::Xoshiro256 rng(4);
+  support::BitStream sticky;
+  bool cur = false;
+  for (std::size_t i = 0; i < kSampleBits; ++i) {
+    sticky.push_back(cur);
+    cur = rng.bernoulli(0.7) ? cur : !cur;
+  }
+  EXPECT_FALSE(runs(sticky));
+}
+
+TEST(Fips140, LongRunAtExactBoundary) {
+  // A run of exactly 26 fails; 25 passes.
+  auto sample = ideal_bits(kSampleBits, 5);
+  // Clear a window, then set a 26-run.
+  for (std::size_t i = 1000; i < 1060; ++i) sample.set(i, false);
+  for (std::size_t i = 1010; i < 1036; ++i) sample.set(i, true);
+  std::size_t longest = 0;
+  EXPECT_FALSE(long_run(sample, &longest));
+  EXPECT_GE(longest, 26u);
+
+  for (std::size_t i = 1000; i < 1060; ++i) sample.set(i, i % 2 == 0);
+  EXPECT_TRUE(long_run(sample));
+}
+
+TEST(Fips140, OutcomeNamesStable) {
+  const auto outcomes = run_all(ideal_bits(kSampleBits, 6));
+  ASSERT_EQ(outcomes.size(), 4u);
+  EXPECT_EQ(outcomes[0].name, "Monobit");
+  EXPECT_EQ(outcomes[3].name, "Long run");
+}
+
+}  // namespace
+}  // namespace dhtrng::stats::fips140

@@ -1,0 +1,187 @@
+// Property tests of the SP 800-22 suite: ideal generators pass, defective
+// generators fail the tests designed to catch their defect.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/sp800_22.h"
+#include "support/rng.h"
+
+namespace dhtrng::stats::sp800_22 {
+namespace {
+
+using support::BitStream;
+
+BitStream ideal_bits(std::size_t n, std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  BitStream bs;
+  bs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) bs.push_back(rng.bernoulli(0.5));
+  return bs;
+}
+
+BitStream biased_bits(std::size_t n, double p, std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  BitStream bs;
+  bs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) bs.push_back(rng.bernoulli(p));
+  return bs;
+}
+
+class IdealGeneratorSuite : public ::testing::Test {
+ protected:
+  static const BitStream& bits() {
+    static const BitStream b = ideal_bits(1000000, 4242);
+    return b;
+  }
+};
+
+TEST_F(IdealGeneratorSuite, AllFifteenTestsPass) {
+  for (const TestResult& r : run_all(bits())) {
+    EXPECT_TRUE(r.pass()) << r.name << " p=" << r.p_value();
+  }
+}
+
+TEST_F(IdealGeneratorSuite, RunAllReturnsPaperOrder) {
+  const auto results = run_all(bits());
+  ASSERT_EQ(results.size(), 15u);
+  EXPECT_EQ(results.front().name, "Frequency");
+  EXPECT_EQ(results.back().name, "LinearComplexity");
+}
+
+TEST(Sp80022Defects, BiasedSequenceFailsFrequency) {
+  const auto bits = biased_bits(100000, 0.52, 7);
+  EXPECT_LT(frequency(bits).p_value(), 0.01);
+}
+
+TEST(Sp80022Defects, AlternatingSequenceFailsRuns) {
+  BitStream bs;
+  for (int i = 0; i < 100000; ++i) bs.push_back(i % 2 == 0);
+  EXPECT_LT(runs(bs).p_value(), 1e-10);
+  // Perfectly balanced, so frequency still passes.
+  EXPECT_GT(frequency(bs).p_value(), 0.9);
+}
+
+TEST(Sp80022Defects, PeriodicSequenceFailsDft) {
+  support::Xoshiro256 rng(9);
+  BitStream bs;
+  // Strong periodic component at period 8 plus noise.
+  for (int i = 0; i < 65536; ++i) {
+    const bool periodic = (i % 8) < 4;
+    bs.push_back(rng.bernoulli(0.25) ? !periodic : periodic);
+  }
+  EXPECT_LT(dft(bs).p_value(), 0.01);
+}
+
+TEST(Sp80022Defects, LowComplexitySequenceFailsLinearComplexity) {
+  // A short LFSR stream has linear complexity far below M/2 in every block.
+  BitStream bs;
+  unsigned state = 0b10011;
+  for (int i = 0; i < 1000000; ++i) {
+    bs.push_back(state & 1u);
+    const unsigned fb = ((state >> 0) ^ (state >> 2)) & 1u;
+    state = (state >> 1) | (fb << 4);
+  }
+  EXPECT_LT(linear_complexity(bs).p_value(), 1e-10);
+}
+
+TEST(Sp80022Defects, BlockBiasFailsBlockFrequency) {
+  // Alternate heavily-biased blocks: globally balanced, locally broken.
+  support::Xoshiro256 rng(13);
+  BitStream bs;
+  for (int block = 0; block < 1000; ++block) {
+    const double p = (block % 2 == 0) ? 0.3 : 0.7;
+    for (int i = 0; i < 128; ++i) bs.push_back(rng.bernoulli(p));
+  }
+  EXPECT_LT(block_frequency(bs).p_value(), 1e-10);
+  EXPECT_GT(frequency(bs).p_value(), 0.01);
+}
+
+TEST(Sp80022Defects, StuckRunFailsLongestRun) {
+  support::Xoshiro256 rng(17);
+  BitStream bs;
+  for (int i = 0; i < 128 * 100; ++i) {
+    // Insert a 20-bit run of ones in every 128-bit block.
+    bs.push_back((i % 128) < 20 ? true : rng.bernoulli(0.5));
+  }
+  EXPECT_LT(longest_run(bs).p_value(), 0.01);
+}
+
+TEST(Sp80022Defects, RepeatedPageFailsUniversal) {
+  // Repeat one random 1000-bit page: highly compressible.
+  support::Xoshiro256 rng(19);
+  std::vector<bool> page(1000);
+  for (auto&& b : page) b = rng.bernoulli(0.5);
+  BitStream bs;
+  for (int rep = 0; rep < 1000; ++rep) {
+    for (bool b : page) bs.push_back(b);
+  }
+  EXPECT_LT(universal(bs).p_value(), 0.01);
+}
+
+TEST(Sp80022, RandomExcursionsApplicabilityGate) {
+  // A heavily biased walk rarely returns to zero -> < 500 cycles -> not
+  // applicable.
+  const auto bits = biased_bits(100000, 0.9, 23);
+  const auto r = random_excursions(bits);
+  EXPECT_FALSE(r.applicable);
+  EXPECT_TRUE(r.pass());  // vacuous pass
+}
+
+TEST(Sp80022, CumulativeSumsHasTwoModes) {
+  const auto r = cumulative_sums(ideal_bits(10000, 29));
+  EXPECT_EQ(r.p_values.size(), 2u);
+}
+
+TEST(Sp80022, RankNeedsEnoughBits) {
+  EXPECT_FALSE(rank(ideal_bits(100, 3)).applicable);
+}
+
+TEST(Sp80022, UniversalNeedsEnoughBits) {
+  EXPECT_FALSE(universal(ideal_bits(1000, 3)).applicable);
+}
+
+TEST(Sp80022Suite, MultiSetReportShape) {
+  std::vector<BitStream> sets;
+  // 420k bits: enough for every test (Universal needs >= 387840).
+  for (std::uint64_t s = 0; s < 4; ++s) sets.push_back(ideal_bits(420000, 100 + s));
+  const auto rows = run_suite(sets);
+  ASSERT_EQ(rows.size(), 15u);
+  for (const SuiteRow& row : rows) {
+    if (row.name == "RandomExcursions" ||
+        row.name == "RandomExcursionsVariant") {
+      continue;  // applicability depends on the walks
+    }
+    EXPECT_EQ(row.total, 4u) << row.name;
+    EXPECT_GE(row.passed, 3u) << row.name;
+  }
+}
+
+TEST(Sp80022Suite, DegenerateGeneratorFailsSuite) {
+  std::vector<BitStream> sets;
+  for (std::uint64_t s = 0; s < 3; ++s) sets.push_back(biased_bits(200000, 0.53, s));
+  const auto rows = run_suite(sets);
+  EXPECT_EQ(rows[0].name, "Frequency");
+  EXPECT_EQ(rows[0].passed, 0u);
+}
+
+TEST(Sp80022, PassCriterionSingleSubtest) {
+  TestResult r{"x", {0.02}};
+  EXPECT_TRUE(r.pass());
+  r.p_values = {0.005};
+  EXPECT_FALSE(r.pass());
+}
+
+TEST(Sp80022, PassCriterionMultiSubtestBinomialBand) {
+  // 148 subtests: a couple of small p-values are expected and tolerated...
+  TestResult r{"x", std::vector<double>(148, 0.5)};
+  r.p_values[0] = 0.001;
+  r.p_values[1] = 0.002;
+  EXPECT_TRUE(r.pass());
+  // ...but a broad failure is not.
+  for (int i = 0; i < 30; ++i) r.p_values[static_cast<std::size_t>(i)] = 0.001;
+  EXPECT_FALSE(r.pass());
+}
+
+}  // namespace
+}  // namespace dhtrng::stats::sp800_22

@@ -1,0 +1,78 @@
+// Known-answer tests from the worked examples in NIST SP 800-22 rev 1a.
+#include <gtest/gtest.h>
+
+#include "stats/sp800_22.h"
+
+namespace dhtrng::stats::sp800_22 {
+namespace {
+
+using support::BitStream;
+
+TEST(NistVectors, FrequencyExample) {
+  // Section 2.1.8: eps = 1011010101, n = 10 -> P-value = 0.527089.
+  const auto r = frequency(BitStream::from_string("1011010101"));
+  EXPECT_NEAR(r.p_value(), 0.527089, 1e-6);
+}
+
+TEST(NistVectors, BlockFrequencyExample) {
+  // Section 2.2.8: eps = 0110011010, M = 3 -> P-value = 0.801252.
+  const auto r = block_frequency(BitStream::from_string("0110011010"), 3);
+  EXPECT_NEAR(r.p_value(), 0.801252, 1e-6);
+}
+
+TEST(NistVectors, RunsExample) {
+  // Section 2.3.8: eps = 1001101011, n = 10 -> P-value = 0.147232.
+  const auto r = runs(BitStream::from_string("1001101011"));
+  EXPECT_NEAR(r.p_value(), 0.147232, 1e-6);
+}
+
+TEST(NistVectors, CumulativeSumsForwardExample) {
+  // Section 2.13.8: eps = 1011010111 -> z = 4, P-value (forward) = 0.4116588.
+  const auto r = cumulative_sums(BitStream::from_string("1011010111"));
+  ASSERT_EQ(r.p_values.size(), 2u);
+  EXPECT_NEAR(r.p_values[0], 0.4116588, 1e-6);
+}
+
+TEST(NistVectors, SerialExample) {
+  // Section 2.11.8: eps = 0011011101, m = 3 -> P1 = 0.808792, P2 = 0.670320.
+  const auto r = serial(BitStream::from_string("0011011101"), 3);
+  ASSERT_EQ(r.p_values.size(), 2u);
+  EXPECT_NEAR(r.p_values[0], 0.808792, 1e-5);
+  EXPECT_NEAR(r.p_values[1], 0.670320, 1e-5);
+}
+
+TEST(NistVectors, ApproximateEntropyExample) {
+  // Section 2.12.8: eps = 0100110101, m = 3 -> P-value = 0.261961.
+  const auto r = approximate_entropy(BitStream::from_string("0100110101"), 3);
+  EXPECT_NEAR(r.p_value(), 0.261961, 1e-5);
+}
+
+TEST(NistVectors, AperiodicTemplateCountForM9) {
+  // The STS ships 148 aperiodic templates of length 9.
+  EXPECT_EQ(aperiodic_templates(9).size(), 148u);
+}
+
+TEST(NistVectors, AperiodicTemplateCountForM2) {
+  // For m = 2 the aperiodic templates are 01 and 10.
+  const auto ts = aperiodic_templates(2);
+  EXPECT_EQ(ts.size(), 2u);
+}
+
+TEST(NistVectors, TemplatesAreActuallyAperiodic) {
+  for (const auto& t : aperiodic_templates(5)) {
+    // No non-trivial self-overlap.
+    for (std::size_t s = 1; s < t.size(); ++s) {
+      bool overlaps = true;
+      for (std::size_t i = 0; i + s < t.size(); ++i) {
+        if (t[i] != t[i + s]) {
+          overlaps = false;
+          break;
+        }
+      }
+      EXPECT_FALSE(overlaps);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dhtrng::stats::sp800_22

@@ -1,0 +1,81 @@
+#include "support/aes.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dhtrng::support {
+namespace {
+
+std::vector<std::uint8_t> from_hex(const std::string& hex) {
+  std::vector<std::uint8_t> out;
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>(
+        std::stoul(hex.substr(i, 2), nullptr, 16)));
+  }
+  return out;
+}
+
+std::string to_hex(const std::uint8_t* data, std::size_t len) {
+  static const char* kHex = "0123456789abcdef";
+  std::string s;
+  for (std::size_t i = 0; i < len; ++i) {
+    s.push_back(kHex[data[i] >> 4]);
+    s.push_back(kHex[data[i] & 0xF]);
+  }
+  return s;
+}
+
+// FIPS-197 Appendix C known-answer vectors.
+TEST(Aes, Fips197Aes128) {
+  const Aes aes(from_hex("000102030405060708090a0b0c0d0e0f"));
+  EXPECT_EQ(aes.rounds(), 10u);
+  auto block = from_hex("00112233445566778899aabbccddeeff");
+  aes.encrypt_block(block.data());
+  EXPECT_EQ(to_hex(block.data(), 16), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes, Fips197Aes256) {
+  const Aes aes(from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"));
+  EXPECT_EQ(aes.rounds(), 14u);
+  auto block = from_hex("00112233445566778899aabbccddeeff");
+  aes.encrypt_block(block.data());
+  EXPECT_EQ(to_hex(block.data(), 16), "8ea2b7ca516745bfeafc49904b496089");
+}
+
+TEST(Aes, RejectsBadKeySizes) {
+  EXPECT_THROW(Aes(std::vector<std::uint8_t>(24, 0)), std::invalid_argument);
+  EXPECT_THROW(Aes(std::vector<std::uint8_t>(8, 0)), std::invalid_argument);
+}
+
+TEST(Aes, EncryptionIsDeterministicAndKeyed) {
+  const Aes a(from_hex("000102030405060708090a0b0c0d0e0f"));
+  const Aes b(from_hex("100102030405060708090a0b0c0d0e0f"));
+  auto x = from_hex("00000000000000000000000000000000");
+  auto y = x;
+  auto z = x;
+  a.encrypt_block(x.data());
+  a.encrypt_block(y.data());
+  b.encrypt_block(z.data());
+  EXPECT_EQ(to_hex(x.data(), 16), to_hex(y.data(), 16));
+  EXPECT_NE(to_hex(x.data(), 16), to_hex(z.data(), 16));
+}
+
+TEST(Aes, AvalancheOnPlaintextBit) {
+  const Aes aes(from_hex("000102030405060708090a0b0c0d0e0f"));
+  auto a = from_hex("00000000000000000000000000000000");
+  auto b = from_hex("00000000000000000000000000000001");
+  aes.encrypt_block(a.data());
+  aes.encrypt_block(b.data());
+  int diff_bits = 0;
+  for (int i = 0; i < 16; ++i) {
+    diff_bits += __builtin_popcount(a[static_cast<std::size_t>(i)] ^
+                                    b[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_GT(diff_bits, 40);  // ~64 expected
+  EXPECT_LT(diff_bits, 88);
+}
+
+}  // namespace
+}  // namespace dhtrng::support

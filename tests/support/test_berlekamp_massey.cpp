@@ -1,0 +1,105 @@
+#include "support/berlekamp_massey.h"
+
+#include <gtest/gtest.h>
+
+#include "support/bitstream.h"
+#include "support/rng.h"
+
+namespace dhtrng::support {
+namespace {
+
+std::size_t lc(const std::string& s) {
+  const BitStream bits = BitStream::from_string(s);
+  return linear_complexity(bits, 0, bits.size());
+}
+
+/// Reference O(n^2) Berlekamp-Massey for cross-validation.
+std::size_t lc_naive(const BitStream& bits, std::size_t begin,
+                     std::size_t len) {
+  std::vector<int> s(len), c(len + 1, 0), b(len + 1, 0), t;
+  for (std::size_t i = 0; i < len; ++i) s[i] = bits[begin + i] ? 1 : 0;
+  c[0] = b[0] = 1;
+  std::size_t l = 0;
+  long long m = -1;
+  for (std::size_t n = 0; n < len; ++n) {
+    int d = s[n];
+    for (std::size_t i = 1; i <= l; ++i) d ^= c[i] & s[n - i];
+    if (d == 0) continue;
+    t = c;
+    const std::size_t shift = static_cast<std::size_t>(
+        static_cast<long long>(n) - m);
+    for (std::size_t i = 0; i + shift <= len; ++i) c[i + shift] ^= b[i];
+    if (2 * l <= n) {
+      l = n + 1 - l;
+      m = static_cast<long long>(n);
+      b = t;
+    }
+  }
+  return l;
+}
+
+TEST(BerlekampMassey, AllZerosHasComplexityZero) {
+  EXPECT_EQ(lc("00000000"), 0u);
+}
+
+TEST(BerlekampMassey, SingleOneAtEndIsMaximal) {
+  // 0^(n-1) 1 has linear complexity n.
+  EXPECT_EQ(lc("0001"), 4u);
+  EXPECT_EQ(lc("00000001"), 8u);
+}
+
+TEST(BerlekampMassey, AlternatingSequence) {
+  // 101010... satisfies s_n = s_{n-2} (and s_n = !s_{n-1}); LFSR length 2.
+  EXPECT_EQ(lc("10101010101010"), 2u);
+}
+
+TEST(BerlekampMassey, ConstantOnes) {
+  // 111... : s_n = s_{n-1}, length 1.
+  EXPECT_EQ(lc("11111111"), 1u);
+}
+
+TEST(BerlekampMassey, NistDocExample) {
+  // SP 800-22 section 2.10.8 example: 1101011110001 has L = 4.
+  EXPECT_EQ(lc("1101011110001"), 4u);
+}
+
+TEST(BerlekampMassey, M_SequenceFromLfsr) {
+  // LFSR x^4 + x + 1 (taps 4,1) produces a length-15 m-sequence with L = 4.
+  BitStream bits;
+  unsigned state = 0b1001;
+  for (int i = 0; i < 30; ++i) {
+    bits.push_back(state & 1u);
+    const unsigned fb = ((state >> 0) ^ (state >> 3)) & 1u;
+    state = (state >> 1) | (fb << 3);
+  }
+  EXPECT_EQ(linear_complexity(bits, 0, bits.size()), 4u);
+}
+
+TEST(BerlekampMassey, MatchesNaiveOnRandomBlocks) {
+  Xoshiro256 rng(31);
+  BitStream bits;
+  for (int i = 0; i < 3000; ++i) bits.push_back(rng.bernoulli(0.5));
+  for (std::size_t begin : {0u, 500u, 1000u}) {
+    for (std::size_t len : {1u, 17u, 64u, 100u, 500u}) {
+      EXPECT_EQ(linear_complexity(bits, begin, len),
+                lc_naive(bits, begin, len))
+          << "begin=" << begin << " len=" << len;
+    }
+  }
+}
+
+TEST(BerlekampMassey, RandomBlockNearHalfLength) {
+  Xoshiro256 rng(77);
+  BitStream bits;
+  for (int i = 0; i < 500; ++i) bits.push_back(rng.bernoulli(0.5));
+  const std::size_t l = linear_complexity(bits, 0, 500);
+  EXPECT_NEAR(static_cast<double>(l), 250.0, 6.0);
+}
+
+TEST(BerlekampMassey, EmptyBlock) {
+  BitStream bits = BitStream::from_string("101");
+  EXPECT_EQ(linear_complexity(bits, 0, 0), 0u);
+}
+
+}  // namespace
+}  // namespace dhtrng::support

@@ -1,0 +1,79 @@
+#include "support/gf2.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace dhtrng::support {
+namespace {
+
+TEST(Gf2Matrix, IdentityHasFullRank) {
+  Gf2Matrix m(8, 8);
+  for (std::size_t i = 0; i < 8; ++i) m.set(i, i, true);
+  EXPECT_EQ(m.rank(), 8u);
+}
+
+TEST(Gf2Matrix, ZeroMatrixHasRankZero) {
+  Gf2Matrix m(16, 16);
+  EXPECT_EQ(m.rank(), 0u);
+}
+
+TEST(Gf2Matrix, DuplicateRowsReduceRank) {
+  Gf2Matrix m(4, 4);
+  // rows: 1100, 1100, 0011, 1111 -> row4 = row1 + row3 -> rank 2.
+  m.set(0, 0, true); m.set(0, 1, true);
+  m.set(1, 0, true); m.set(1, 1, true);
+  m.set(2, 2, true); m.set(2, 3, true);
+  m.set(3, 0, true); m.set(3, 1, true); m.set(3, 2, true); m.set(3, 3, true);
+  EXPECT_EQ(m.rank(), 2u);
+}
+
+TEST(Gf2Matrix, RankBoundedByDimensions) {
+  Xoshiro256 rng(4);
+  Gf2Matrix m(5, 9);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 9; ++c) m.set(r, c, rng.bernoulli(0.5));
+  }
+  EXPECT_LE(m.rank(), 5u);
+}
+
+TEST(Gf2Matrix, RejectsTooManyColumns) {
+  EXPECT_THROW(Gf2Matrix(4, 65), std::invalid_argument);
+}
+
+TEST(Gf2Matrix, GetSetRoundTrip) {
+  Gf2Matrix m(3, 3);
+  m.set(1, 2, true);
+  EXPECT_TRUE(m.get(1, 2));
+  m.set(1, 2, false);
+  EXPECT_FALSE(m.get(1, 2));
+}
+
+TEST(RankProbability, KnownStsConstants) {
+  // The SP 800-22 rank-test constants for 32x32 matrices.
+  EXPECT_NEAR(gf2_full_rank_deficit_probability(32, 0), 0.2888, 1e-4);
+  EXPECT_NEAR(gf2_full_rank_deficit_probability(32, 1), 0.5776, 1e-4);
+  const double rest = 1.0 - gf2_full_rank_deficit_probability(32, 0) -
+                      gf2_full_rank_deficit_probability(32, 1);
+  EXPECT_NEAR(rest, 0.1336, 1e-4);
+}
+
+TEST(RankProbability, MatchesEmpiricalDistribution) {
+  Xoshiro256 rng(99);
+  const int trials = 4000;
+  int full = 0, minus1 = 0;
+  for (int t = 0; t < trials; ++t) {
+    Gf2Matrix m(32, 32);
+    for (std::size_t r = 0; r < 32; ++r) {
+      for (std::size_t c = 0; c < 32; ++c) m.set(r, c, rng.bernoulli(0.5));
+    }
+    const std::size_t rk = m.rank();
+    if (rk == 32) ++full;
+    else if (rk == 31) ++minus1;
+  }
+  EXPECT_NEAR(static_cast<double>(full) / trials, 0.2888, 0.025);
+  EXPECT_NEAR(static_cast<double>(minus1) / trials, 0.5776, 0.025);
+}
+
+}  // namespace
+}  // namespace dhtrng::support

@@ -1,0 +1,82 @@
+#include "support/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "support/rng.h"
+
+namespace dhtrng::support {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string path(const char* name) {
+    return (std::filesystem::temp_directory_path() /
+            (std::string("dhtrng_io_") + name))
+        .string();
+  }
+  void TearDown() override {
+    for (const auto& p : created_) std::remove(p.c_str());
+  }
+  std::string track(std::string p) {
+    created_.push_back(p);
+    return p;
+  }
+  std::vector<std::string> created_;
+};
+
+BitStream random_bits(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  BitStream bs;
+  for (std::size_t i = 0; i < n; ++i) bs.push_back(rng.bernoulli(0.5));
+  return bs;
+}
+
+TEST_F(IoTest, BinaryRoundTripByteAligned) {
+  const auto bits = random_bits(4096, 1);
+  const auto p = track(path("bin1"));
+  write_binary(bits, p);
+  EXPECT_EQ(read_binary(p), bits);
+}
+
+TEST_F(IoTest, BinaryRoundTripUnalignedNeedsTrim) {
+  const auto bits = random_bits(1003, 2);
+  const auto p = track(path("bin2"));
+  write_binary(bits, p);
+  // Untrimmed read returns the zero-padded length...
+  EXPECT_EQ(read_binary(p).size(), 1008u);
+  // ...trimmed read round-trips exactly.
+  EXPECT_EQ(read_binary(p, 1003), bits);
+}
+
+TEST_F(IoTest, BinaryReadRejectsOverlongRequest) {
+  const auto p = track(path("bin3"));
+  write_binary(random_bits(64, 3), p);
+  EXPECT_THROW(read_binary(p, 100), std::runtime_error);
+}
+
+TEST_F(IoTest, AsciiRoundTrip) {
+  const auto bits = random_bits(777, 4);
+  const auto p = track(path("asc1"));
+  write_ascii(bits, p);
+  EXPECT_EQ(read_ascii(p), bits);
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  EXPECT_THROW(read_binary(path("nonexistent")), std::runtime_error);
+  EXPECT_THROW(read_ascii(path("nonexistent")), std::runtime_error);
+}
+
+TEST_F(IoTest, CrossFormatConsistency) {
+  const auto bits = random_bits(2048, 5);
+  const auto pb = track(path("x1"));
+  const auto pa = track(path("x2"));
+  write_binary(bits, pb);
+  write_ascii(bits, pa);
+  EXPECT_EQ(read_binary(pb, 2048), read_ascii(pa));
+}
+
+}  // namespace
+}  // namespace dhtrng::support

@@ -1,0 +1,74 @@
+#include "support/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace dhtrng::support {
+namespace {
+
+std::string hash_hex(const std::string& msg) {
+  Sha256 h;
+  h.update(msg);
+  return Sha256::hex(h.finish());
+}
+
+// FIPS 180-4 / NIST CAVP known-answer vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hash_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hash_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hash_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(Sha256::hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64-byte message forces the length into a second block.
+  EXPECT_EQ(hash_hex(std::string(64, 'x')),
+            hash_hex(std::string(64, 'x')));
+  EXPECT_NE(hash_hex(std::string(64, 'x')), hash_hex(std::string(63, 'x')));
+}
+
+TEST(Sha256, IncrementalEqualsOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  Sha256 h;
+  for (char c : msg) h.update(std::string(1, c));
+  Sha256 one;
+  one.update(msg);
+  EXPECT_EQ(Sha256::hex(h.finish()), Sha256::hex(one.finish()));
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+  Sha256 h;
+  h.update(std::string("first"));
+  (void)h.finish();
+  h.reset();
+  h.update(std::string("abc"));
+  EXPECT_EQ(Sha256::hex(h.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, OneShotHelper) {
+  const std::vector<std::uint8_t> abc = {'a', 'b', 'c'};
+  EXPECT_EQ(Sha256::hex(Sha256::hash(abc)),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+}  // namespace
+}  // namespace dhtrng::support

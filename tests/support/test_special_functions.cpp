@@ -1,0 +1,79 @@
+#include "support/special_functions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dhtrng::support {
+namespace {
+
+TEST(Igamc, BoundaryCases) {
+  EXPECT_DOUBLE_EQ(igamc(1.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(igamc(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(igam(1.0, 0.0), 0.0);
+}
+
+TEST(Igamc, ExponentialSpecialCase) {
+  // Q(1, x) = exp(-x).
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    EXPECT_NEAR(igamc(1.0, x), std::exp(-x), 1e-12);
+  }
+}
+
+TEST(Igamc, HalfIntegerViaErfc) {
+  // Q(1/2, x) = erfc(sqrt(x)).
+  for (double x : {0.25, 1.0, 2.25, 4.0}) {
+    EXPECT_NEAR(igamc(0.5, x), std::erfc(std::sqrt(x)), 1e-12);
+  }
+}
+
+TEST(Igamc, ComplementsIgam) {
+  for (double a : {0.5, 1.5, 3.0, 10.0}) {
+    for (double x : {0.2, 1.0, 3.0, 12.0}) {
+      EXPECT_NEAR(igam(a, x) + igamc(a, x), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(Igamc, MonotoneDecreasingInX) {
+  double prev = 1.0;
+  for (double x = 0.1; x < 20.0; x += 0.5) {
+    const double v = igamc(3.0, x);
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(ChiSquare, MatchesKnownQuantiles) {
+  // chi2 = 3.841, df = 1 -> p = 0.05; chi2 = 16.919, df = 9 -> p = 0.05.
+  EXPECT_NEAR(chi_square_p_value(3.841, 1.0), 0.05, 2e-4);
+  EXPECT_NEAR(chi_square_p_value(16.919, 9.0), 0.05, 2e-4);
+  EXPECT_NEAR(chi_square_p_value(23.209, 10.0), 0.01, 2e-4);
+}
+
+TEST(NormalCdf, StandardValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.959963985), 0.025, 1e-6);
+}
+
+TEST(NormalQ, IsComplementOfCdf) {
+  for (double x : {-3.0, -1.0, 0.0, 0.5, 2.0}) {
+    EXPECT_NEAR(normal_q(x) + normal_cdf(x), 1.0, 1e-14);
+  }
+}
+
+TEST(NormalQ, PaperEquation2Midpoint) {
+  // Eq. 2 with delta = 0 (sampling exactly at the transition): P = 1/2,
+  // the property the holding region exploits.
+  EXPECT_DOUBLE_EQ(normal_q(0.0), 0.5);
+}
+
+TEST(Erfc, WrapsStdErfc) {
+  for (double x : {-2.0, 0.0, 0.7, 3.0}) {
+    EXPECT_DOUBLE_EQ(erfc(x), std::erfc(x));
+  }
+}
+
+}  // namespace
+}  // namespace dhtrng::support

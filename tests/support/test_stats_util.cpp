@@ -1,0 +1,87 @@
+#include "support/stats_util.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/rng.h"
+
+namespace dhtrng::support {
+namespace {
+
+TEST(StatsUtil, MeanAndVariance) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(variance(xs), 1.25);
+  EXPECT_DOUBLE_EQ(std_dev(xs), std::sqrt(1.25));
+}
+
+TEST(StatsUtil, EmptyInputsAreZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+}
+
+TEST(StatsUtil, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0};
+  EXPECT_NEAR(pearson_correlation(xs, ys), 1.0, 1e-12);
+  const std::vector<double> zs = {6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson_correlation(xs, zs), -1.0, 1e-12);
+}
+
+TEST(StatsUtil, PearsonDegenerateIsZero) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(pearson_correlation(xs, ys), 0.0);
+  const std::vector<double> one = {1.0};
+  EXPECT_DOUBLE_EQ(pearson_correlation(xs, one), 0.0);  // size mismatch
+}
+
+TEST(StatsUtil, UniformityHighForUniformPValues) {
+  Xoshiro256 rng(5);
+  std::vector<double> ps;
+  for (int i = 0; i < 1000; ++i) ps.push_back(rng.uniform());
+  EXPECT_GT(p_value_uniformity(ps), 0.001);
+}
+
+TEST(StatsUtil, UniformityLowForClusteredPValues) {
+  std::vector<double> ps(100, 0.5);
+  EXPECT_LT(p_value_uniformity(ps), 1e-10);
+}
+
+TEST(StatsUtil, PassProportionCountsThreshold) {
+  const std::vector<double> ps = {0.5, 0.005, 0.02, 0.9};
+  EXPECT_DOUBLE_EQ(pass_proportion(ps), 0.75);
+  EXPECT_EQ(pass_fraction_string(ps), "3/4");
+}
+
+TEST(StatsUtil, MinPassProportionBand) {
+  // NIST's rule of thumb: for 1000 samples at alpha = 0.01 the minimum
+  // proportion is about 0.9806.
+  EXPECT_NEAR(min_pass_proportion(1000), 0.9806, 5e-4);
+  // Small sample counts give a wide band.
+  EXPECT_LT(min_pass_proportion(30), 0.95);
+}
+
+TEST(StatsUtil, MinPassCountExactBinomial) {
+  // n = 4, p = 0.99: P(X <= 2) ~ 6e-4 < 1e-3, P(X <= 3) ~ 0.039 -> the
+  // threshold is 3 (i.e. 3/4 passes are acceptable, 2/4 are not).
+  EXPECT_EQ(min_pass_count(4, 0.99), 3u);
+  // Large sample: threshold approaches the Gaussian band.
+  const std::size_t k1000 = min_pass_count(1000, 0.99);
+  EXPECT_NEAR(static_cast<double>(k1000) / 1000.0, 0.98, 0.01);
+  // Degenerate inputs.
+  EXPECT_EQ(min_pass_count(0), 0u);
+  // One sample: a single failure (probability 1%) is not rejectable at
+  // 99.9% confidence, but is at 99%.
+  EXPECT_EQ(min_pass_count(1, 0.99, 0.999), 0u);
+  EXPECT_EQ(min_pass_count(1, 0.99, 0.98), 1u);
+}
+
+TEST(StatsUtil, MinPassCountMonotoneInConfidence) {
+  EXPECT_LE(min_pass_count(100, 0.99, 0.9999),
+            min_pass_count(100, 0.99, 0.99));
+}
+
+}  // namespace
+}  // namespace dhtrng::support
