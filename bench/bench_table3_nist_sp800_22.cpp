@@ -16,6 +16,10 @@ int main(int argc, char** argv) {
   using namespace dhtrng;
   const auto sets = static_cast<std::size_t>(bench::flag(argc, argv, "sets", 4));
   const auto bits = static_cast<std::size_t>(bench::flag(argc, argv, "bits", 1000000));
+  // --threads=0 -> hardware concurrency; sets are dispatched one per task,
+  // so the report is identical for any worker count.
+  const auto threads =
+      static_cast<std::size_t>(bench::flag(argc, argv, "threads", 1));
 
   bench::header("Table 3 - NIST SP 800-22 test",
                 "DH-TRNG paper, Table 3 (Section 4.1.1)");
@@ -31,7 +35,7 @@ int main(int argc, char** argv) {
       core::DhTrng trng({.device = device, .seed = 4000 + s});
       streams.push_back(trng.generate(bits));
     }
-    const auto rows = stats::sp800_22::run_suite(streams);
+    const auto rows = stats::sp800_22::run_suite(streams, 0.01, threads);
     std::printf("%-26s %-10s %s\n", "NIST SP 800-22", "P-value", "Prop.");
     bool in_band = true;
     for (const auto& row : rows) {

@@ -1,24 +1,33 @@
-// Key generation with online health tests — the paper's motivating use
-// case (roots of trust for encryption systems).
+// Key generation backed by the health-gated entropy service — the paper's
+// motivating use case (roots of trust for encryption systems).
 //
-// Generates AES-256 keys and 96-bit nonces from a DH-TRNG, gating every
-// block of raw bits through AIS-31-style startup/online tests (monobit,
-// poker, long-run) the way a deployed TRNG peripheral would.
+// An EntropyPool runs several DH-TRNG producers on background threads,
+// gates every block through the SP 800-90B continuous health tests
+// (repetition count + adaptive proportion), and quarantines/reseeds any
+// producer that alarms.  On top of that continuous gate this example adds
+// an AIS-31 procedure-A screen on the drawn key material, the way a
+// deployed TRNG peripheral layers a consumer-side acceptance test over the
+// source-side online tests.
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/dhtrng.h"
+#include "core/entropy_pool.h"
 #include "stats/ais31.h"
 
 namespace {
 
 using namespace dhtrng;
 
-/// Online health gate: run the AIS-31 procedure-A statistical tests on a
-/// 20000-bit block before releasing it to the key pool.
+/// Consumer-side screen: AIS-31 procedure-A statistical tests on a
+/// 20000-bit block of drawn material.
 bool block_is_healthy(const support::BitStream& block) {
   return stats::ais31::t1_monobit(block) && stats::ais31::t2_poker(block) &&
          stats::ais31::t4_long_run(block);
+}
+
+support::BitStream draw_bits(core::EntropyPool& pool, std::size_t nbits) {
+  return support::BitStream::from_bytes(pool.get_bytes((nbits + 7) / 8))
+      .slice(0, nbits);
 }
 
 void print_hex(const char* label, const support::BitStream& bits) {
@@ -32,12 +41,14 @@ void print_hex(const char* label, const support::BitStream& bits) {
 int main(int argc, char** argv) {
   const int keys = argc > 1 ? std::atoi(argv[1]) : 4;
 
-  core::DhTrng trng({.device = fpga::DeviceModel::artix7(), .seed = 0xC0FFEE});
+  auto pool = core::EntropyPool::of_dhtrng(
+      {.producers = 2, .buffer_bytes = 8192, .block_bits = 4096},
+      {.device = fpga::DeviceModel::artix7(), .seed = 0xC0FFEE});
 
   // Startup test: discard and verify the first block (AIS-31 requires the
   // startup sequence to be tested and thrown away).
   {
-    const auto startup = trng.generate(20000);
+    const auto startup = draw_bits(pool, 20000);
     if (!block_is_healthy(startup)) {
       std::fprintf(stderr, "startup health test failed\n");
       return 1;
@@ -45,16 +56,16 @@ int main(int argc, char** argv) {
     std::printf("startup health test: ok (20000 bits tested and discarded)\n\n");
   }
 
-  support::BitStream pool;
+  support::BitStream material;
   std::size_t blocks_tested = 0, blocks_rejected = 0;
   const auto refill = [&](std::size_t needed) {
-    while (pool.size() < needed) {
-      const auto block = trng.generate(20000);
+    while (material.size() < needed) {
+      const auto block = draw_bits(pool, 20000);
       ++blocks_tested;
       if (block_is_healthy(block)) {
-        pool.append(block);
+        material.append(block);
       } else {
-        ++blocks_rejected;  // discard unhealthy block, keep generating
+        ++blocks_rejected;  // discard unhealthy block, keep drawing
       }
     }
   };
@@ -62,20 +73,21 @@ int main(int argc, char** argv) {
   std::size_t cursor = 0;
   for (int k = 0; k < keys; ++k) {
     refill(cursor + 256 + 96);
-    const auto key = pool.slice(cursor, 256);
+    const auto key = material.slice(cursor, 256);
     cursor += 256;
-    const auto nonce = pool.slice(cursor, 96);
+    const auto nonce = material.slice(cursor, 96);
     cursor += 96;
     std::printf("key %d\n", k + 1);
     print_hex("  AES-256 key : ", key);
     print_hex("  GCM nonce   : ", nonce);
   }
 
-  std::printf("\n%zu blocks health-tested, %zu rejected\n", blocks_tested,
-              blocks_rejected);
-  std::printf("at %.0f Mbps this key material takes %.1f microseconds of "
-              "hardware time\n",
-              trng.throughput_mbps(),
-              static_cast<double>(cursor) / trng.throughput_mbps());
+  std::printf("\n%zu producers, %zu healthy at exit; %zu source quarantine "
+              "event(s)\n",
+              pool.producers(), pool.healthy_producers(),
+              pool.quarantine_events());
+  std::printf("%zu blocks screened, %zu rejected; %zu bytes drawn from the "
+              "pool in total\n",
+              blocks_tested, blocks_rejected, pool.bytes_produced());
   return 0;
 }

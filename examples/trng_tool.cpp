@@ -3,7 +3,7 @@
 //   trng_tool generate [--device=artix7|virtex6] [--bits=N] [--seed=S]
 //                      [--backend=fast|gate] [--format=hex|bin|bits]
 //                      [--post=none|vn|peres|xor4|sha256]
-//   trng_tool evaluate [--device=...] [--bits=N] [--seed=S]
+//   trng_tool evaluate [--device=...] [--bits=N] [--seed=S] [--threads=T]
 //   trng_tool report   [--device=...] [--bits=N] [--seed=S]
 //
 // `generate` writes to stdout; `evaluate` runs the quick statistical
@@ -101,8 +101,12 @@ int cmd_evaluate(int argc, char** argv) {
   for (const auto& row : stats::sp800_90b::run_all(bits)) {
     std::printf("  %-12s h-min = %.4f\n", row.name.c_str(), row.h_min);
   }
+  // --threads=0 -> hardware concurrency; the battery's rank counts are
+  // thread-count invariant, so this only changes wall-clock time.
+  const auto threads = std::stoull(flag(argc, argv, "threads", "1"));
   const auto iid = stats::sp800_90b::permutation_iid_test(
-      bits.slice(0, std::min<std::size_t>(bits.size(), 20000)), 120, 3);
+      bits.slice(0, std::min<std::size_t>(bits.size(), 20000)), 120, 3,
+      threads);
   std::printf("\nIID permutation test (%zu shuffles): %s\n", iid.permutations,
               iid.iid_assumption_holds ? "assumption holds" : "REJECTED");
   return 0;

@@ -1,0 +1,135 @@
+#include "core/entropy_pool.h"
+
+#include <utility>
+
+#include "core/dhtrng.h"
+#include "support/rng.h"
+
+namespace dhtrng::core {
+
+EntropyPool::EntropyPool(EntropyPoolConfig config, SourceFactory factory)
+    : config_(config),
+      factory_(std::move(factory)),
+      buffer_(config.buffer_bytes) {
+  if (config_.producers == 0) {
+    throw std::invalid_argument("EntropyPool: producers == 0");
+  }
+  if (config_.block_bits == 0 || config_.block_bits % 8 != 0) {
+    throw std::invalid_argument("EntropyPool: block_bits must be a positive "
+                                "multiple of 8");
+  }
+  states_.reserve(config_.producers);
+  for (std::size_t i = 0; i < config_.producers; ++i) {
+    auto state = std::make_unique<ProducerState>(config_.min_entropy_per_bit);
+    state->source = factory_(i, derived_seed(i, 0));
+    states_.push_back(std::move(state));
+  }
+  // Start threads only once every state slot exists (producers index into
+  // states_ concurrently).
+  for (std::size_t i = 0; i < config_.producers; ++i) {
+    states_[i]->thread = std::thread([this, i] { producer_loop(i); });
+  }
+}
+
+EntropyPool EntropyPool::of_dhtrng(EntropyPoolConfig config, DhTrngConfig core) {
+  return EntropyPool(config, [core](std::size_t, std::uint64_t seed) {
+    DhTrngConfig per_producer = core;
+    per_producer.seed = seed;
+    return std::make_unique<DhTrng>(per_producer);
+  });
+}
+
+EntropyPool::~EntropyPool() { stop(); }
+
+std::uint64_t EntropyPool::derived_seed(std::size_t index,
+                                        std::uint64_t sequence) const {
+  // One SplitMix64 stream per pool; producer `index` owns the stream
+  // positions index, producers+index, 2*producers+index, ... so initial and
+  // reseed seeds never collide across producers.
+  support::SplitMix64 sm(config_.seed);
+  std::uint64_t value = 0;
+  const std::uint64_t steps = sequence * config_.producers + index + 1;
+  for (std::uint64_t i = 0; i < steps; ++i) value = sm.next();
+  return value;
+}
+
+void EntropyPool::producer_loop(std::size_t index) {
+  ProducerState& st = *states_[index];
+  std::vector<std::uint8_t> block(config_.block_bits / 8);
+
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Generate and health-test one block.  The monitor is sticky once
+    // alarmed, so `healthy` reflects the whole block.
+    bool healthy = true;
+    for (std::size_t byte = 0; byte < block.size(); ++byte) {
+      std::uint8_t v = 0;
+      for (int b = 0; b < 8; ++b) {
+        const bool bit = st.source->next_bit();
+        v = static_cast<std::uint8_t>((v << 1) | (bit ? 1u : 0u));
+        healthy = st.monitor.feed(bit) && healthy;
+      }
+      block[byte] = v;
+    }
+
+    if (!healthy) {
+      quarantines_.fetch_add(1, std::memory_order_relaxed);
+      if (++st.consecutive_alarms > config_.max_reseeds) {
+        // Reseeding did not cure it: the physical source is gone.  Retire;
+        // the last producer standing closes the buffer so consumers can
+        // observe exhaustion instead of blocking forever.
+        st.retired.store(true, std::memory_order_release);
+        if (retired_count_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            states_.size()) {
+          buffer_.close();
+        }
+        return;
+      }
+      st.source = factory_(index, derived_seed(index, ++st.reseed_sequence));
+      st.monitor.reset();
+      continue;
+    }
+
+    st.consecutive_alarms = 0;
+    for (std::uint8_t v : block) {
+      if (!buffer_.push(v)) return;  // pool stopped while we were blocked
+    }
+    bytes_produced_.fetch_add(block.size(), std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::uint8_t> EntropyPool::get_bytes(std::size_t n) {
+  std::vector<std::uint8_t> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    std::optional<std::uint8_t> byte = buffer_.pop();
+    if (!byte) throw EntropyExhausted();  // closed and drained
+    out.push_back(*byte);
+  }
+  return out;
+}
+
+void EntropyPool::stop() {
+  stopping_.store(true, std::memory_order_release);
+  buffer_.close();
+  for (auto& st : states_) {
+    if (st->thread.joinable()) st->thread.join();
+  }
+}
+
+std::size_t EntropyPool::healthy_producers() const {
+  std::size_t healthy = 0;
+  for (const auto& st : states_) {
+    if (!st->retired.load(std::memory_order_acquire)) ++healthy;
+  }
+  return healthy;
+}
+
+std::uint64_t EntropyPool::quarantine_events() const {
+  return quarantines_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t EntropyPool::bytes_produced() const {
+  return bytes_produced_.load(std::memory_order_relaxed);
+}
+
+}  // namespace dhtrng::core

@@ -1,0 +1,118 @@
+// Health-gated parallel entropy service: N producer threads each drive an
+// independent TrngSource, run the SP 800-90B continuous health tests
+// (stats/health.h RCT + APT) over every bit they emit, and feed a bounded
+// shared buffer that consumers drain via get_bytes().
+//
+// Failure policy (the deployment behaviour SP 800-90B section 4.3 asks an
+// entropy source to document):
+//  * a block during which a producer's health monitor alarms is discarded
+//    in full — no bit of it reaches the buffer;
+//  * the alarming producer is quarantined: its source is rebuilt through
+//    the factory with a fresh derived seed and its monitors reset;
+//  * a producer that alarms on `max_reseeds` consecutive blocks is retired
+//    permanently (a genuinely stuck source keeps failing after reseeding);
+//  * get_bytes() keeps serving from the remaining healthy producers and
+//    only throws EntropyExhausted once every producer has been retired and
+//    the buffer has drained.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/dhtrng.h"
+#include "core/trng.h"
+#include "stats/health.h"
+#include "support/ring_buffer.h"
+
+namespace dhtrng::core {
+
+struct EntropyPoolConfig {
+  std::size_t producers = 4;
+  /// Bounded buffer capacity; full buffer backpressures the producers.
+  std::size_t buffer_bytes = 1 << 16;
+  /// Production granularity: bits generated and health-tested per push.
+  /// Must be a multiple of 8.
+  std::size_t block_bits = 4096;
+  /// H-claim for the RCT/APT cutoffs (per-bit min-entropy).
+  double min_entropy_per_bit = 0.9;
+  /// Consecutive alarmed blocks before a producer is retired for good.
+  std::size_t max_reseeds = 3;
+  /// Master seed; per-producer seeds are SplitMix64-derived from it.
+  std::uint64_t seed = 1;
+};
+
+/// Thrown by get_bytes() when every producer has been retired.
+struct EntropyExhausted : std::runtime_error {
+  EntropyExhausted() : std::runtime_error(
+      "EntropyPool: all producers unhealthy, refusing to emit bytes") {}
+};
+
+class EntropyPool {
+ public:
+  /// Builds the TrngSource for producer `index`; called again with a fresh
+  /// derived seed each time that producer is reseeded out of quarantine.
+  using SourceFactory = std::function<std::unique_ptr<TrngSource>(
+      std::size_t index, std::uint64_t seed)>;
+
+  EntropyPool(EntropyPoolConfig config, SourceFactory factory);
+
+  /// Convenience: a pool of DhTrng producers with the given per-core config
+  /// (seeds are re-derived per producer).
+  static EntropyPool of_dhtrng(EntropyPoolConfig config,
+                               DhTrngConfig core = {});
+
+  ~EntropyPool();
+
+  EntropyPool(const EntropyPool&) = delete;
+  EntropyPool& operator=(const EntropyPool&) = delete;
+  EntropyPool(EntropyPool&&) = delete;
+
+  /// Blocks until `n` health-tested bytes are available (FIFO across
+  /// producers).  Throws EntropyExhausted once all producers are retired
+  /// and the buffered remainder cannot cover the request.
+  std::vector<std::uint8_t> get_bytes(std::size_t n);
+
+  /// Stop producers and wake blocked consumers; idempotent (the destructor
+  /// calls it).  After stop(), get_bytes() drains the buffer then throws.
+  void stop();
+
+  std::size_t producers() const { return states_.size(); }
+  /// Producers not permanently retired.
+  std::size_t healthy_producers() const;
+  /// Total health alarms observed (each triggers a quarantine + reseed).
+  std::uint64_t quarantine_events() const;
+  /// Bytes that passed the health gate into the buffer.
+  std::uint64_t bytes_produced() const;
+
+ private:
+  struct ProducerState {
+    std::unique_ptr<TrngSource> source;
+    stats::HealthMonitor monitor;
+    std::uint64_t reseed_sequence = 0;  ///< seeds consumed by this producer
+    std::size_t consecutive_alarms = 0;
+    std::atomic<bool> retired{false};
+    std::thread thread;
+
+    explicit ProducerState(double h_claim) : monitor(h_claim) {}
+  };
+
+  void producer_loop(std::size_t index);
+  std::uint64_t derived_seed(std::size_t index, std::uint64_t sequence) const;
+
+  EntropyPoolConfig config_;
+  SourceFactory factory_;
+  support::RingBuffer<std::uint8_t> buffer_;
+  std::vector<std::unique_ptr<ProducerState>> states_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> retired_count_{0};
+  std::atomic<std::uint64_t> quarantines_{0};
+  std::atomic<std::uint64_t> bytes_produced_{0};
+};
+
+}  // namespace dhtrng::core

@@ -58,8 +58,12 @@ AdaptiveProportionTest::AdaptiveProportionTest(double min_entropy_per_bit,
 bool AdaptiveProportionTest::feed(bool bit) {
   if (alarmed_) return false;
   if (index_ == 0) {
+    // SP 800-90B 4.4.2 step 2: the counter starts at 1, counting the
+    // window's reference sample itself — the cutoff is a bound on the total
+    // occurrence count within the window, reference included.
     reference_ = bit;
-    matches_ = 0;
+    matches_ = 1;
+    if (matches_ >= cutoff_) alarmed_ = true;  // degenerate W=1 windows
   } else if (bit == reference_) {
     if (++matches_ >= cutoff_) alarmed_ = true;
   }

@@ -38,9 +38,11 @@ class RepetitionCountTest {
 
 /// Adaptive Proportion Test (SP 800-90B 4.4.2): within each window of
 /// W = 1024 bits, alarm if the first value of the window occurs at least
-/// C times.  C is the 2^-20 binomial tail cutoff for the claimed
-/// min-entropy; for binary H = 1 the standard value is C = 589 and it
-/// grows toward W as the claimed entropy falls.
+/// C times *including that first (reference) sample* — the spec's counter
+/// B starts at 1.  C is the 2^-20 binomial tail cutoff for the claimed
+/// min-entropy: the smallest C with P(1 + Binomial(W-1, 2^-H) >= C) <= 2^-20;
+/// for binary H = 1 the standard value is C = 589 and it grows toward W as
+/// the claimed entropy falls.
 class AdaptiveProportionTest {
  public:
   explicit AdaptiveProportionTest(double min_entropy_per_bit = 0.9,

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "support/stats_util.h"
+#include "support/thread_pool.h"
 
 namespace dhtrng::stats::sp800_22 {
 
@@ -80,14 +81,23 @@ std::vector<TestResult> run_all(const BitStream& bits) {
 }
 
 std::vector<SuiteRow> run_suite(std::span<const BitStream> sets,
-                                double alpha) {
+                                double alpha, std::size_t n_threads) {
   std::vector<SuiteRow> rows;
   if (sets.empty()) return rows;
+  if (n_threads == 0) n_threads = support::ThreadPool::hardware_threads();
 
-  // Run every set once, keep all results grouped by test index.
-  std::vector<std::vector<TestResult>> by_set;
-  by_set.reserve(sets.size());
-  for (const BitStream& s : sets) by_set.push_back(run_all(s));
+  // Run every set once, keep all results grouped by test index.  Sets are
+  // independent, so they dispatch onto workers; each slot is written by
+  // exactly one task and the aggregation below walks them in set order, so
+  // the rows do not depend on the thread count.
+  std::vector<std::vector<TestResult>> by_set(sets.size());
+  if (n_threads <= 1 || sets.size() <= 1) {
+    for (std::size_t s = 0; s < sets.size(); ++s) by_set[s] = run_all(sets[s]);
+  } else {
+    support::ThreadPool pool(std::min(n_threads, sets.size()));
+    pool.parallel_for(0, sets.size(),
+                      [&](std::size_t s) { by_set[s] = run_all(sets[s]); });
+  }
 
   const std::size_t tests = by_set.front().size();
   for (std::size_t t = 0; t < tests; ++t) {

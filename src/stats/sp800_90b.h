@@ -90,8 +90,14 @@ struct IidTestResult {
 /// Run the permutation battery.  The spec uses 10,000 permutations on 1M
 /// samples; the default here is sized for interactive use — scale up via
 /// the parameters for a certification-grade run.
+///
+/// Each shuffle draws from its own SplitMix64-derived Fisher-Yates stream,
+/// so the permutation set is a pure function of (bits, permutations, seed);
+/// `n_threads` (1 = serial, 0 = hardware concurrency) only distributes the
+/// shuffles over workers and cannot change any rank count.
 IidTestResult permutation_iid_test(const BitStream& bits,
                                    std::size_t permutations = 200,
-                                   std::uint64_t seed = 1);
+                                   std::uint64_t seed = 1,
+                                   std::size_t n_threads = 1);
 
 }  // namespace dhtrng::stats::sp800_90b

@@ -3,11 +3,14 @@
 #include <array>
 #include <cmath>
 #include <cstdint>
+#include <future>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
 #include "stats/sp800_90b.h"
 #include "support/rng.h"
+#include "support/thread_pool.h"
 
 namespace dhtrng::stats::sp800_90b {
 
@@ -193,9 +196,11 @@ const char* statistic_name(std::size_t index) {
 
 IidTestResult permutation_iid_test(const BitStream& bits,
                                    std::size_t permutations,
-                                   std::uint64_t seed) {
+                                   std::uint64_t seed,
+                                   std::size_t n_threads) {
   IidTestResult result;
   result.permutations = permutations;
+  if (n_threads == 0) n_threads = support::ThreadPool::hardware_threads();
 
   std::vector<std::uint8_t> sample(bits.size());
   for (std::size_t i = 0; i < bits.size(); ++i) sample[i] = bits[i] ? 1 : 0;
@@ -207,22 +212,60 @@ IidTestResult permutation_iid_test(const BitStream& bits,
     result.statistics[s].original = original[s];
   }
 
-  support::Xoshiro256 rng(seed);
-  std::vector<std::uint8_t> shuffled = sample;
-  for (std::size_t p = 0; p < permutations; ++p) {
-    // Fisher-Yates.
-    for (std::size_t i = shuffled.size(); i > 1; --i) {
-      const std::size_t j = static_cast<std::size_t>(rng.below(i));
-      std::swap(shuffled[i - 1], shuffled[j]);
-    }
-    const std::vector<double> stats = all_statistics(shuffled);
-    for (std::size_t s = 0; s < stats.size(); ++s) {
-      if (stats[s] < original[s]) {
-        ++result.statistics[s].rank_below;
-      } else if (stats[s] == original[s]) {
-        ++result.statistics[s].rank_equal;
+  // Per-permutation Fisher-Yates seeds: shuffle p is independent of every
+  // other shuffle, so the battery parallelizes over p and the rank counts
+  // (plain integer sums) come out identical for any worker count.
+  std::vector<std::uint64_t> shuffle_seeds(permutations);
+  {
+    support::SplitMix64 sm(seed);
+    for (auto& s : shuffle_seeds) s = sm.next();
+  }
+  const std::size_t n_stats = original.size();
+  std::vector<std::size_t> below(n_stats, 0), equal(n_stats, 0);
+  std::mutex merge_mutex;
+
+  const auto run_range = [&](std::size_t lo, std::size_t hi) {
+    std::vector<std::size_t> local_below(n_stats, 0), local_equal(n_stats, 0);
+    std::vector<std::uint8_t> shuffled;
+    for (std::size_t p = lo; p < hi; ++p) {
+      shuffled = sample;
+      support::Xoshiro256 rng(shuffle_seeds[p]);
+      for (std::size_t i = shuffled.size(); i > 1; --i) {
+        const std::size_t j = static_cast<std::size_t>(rng.below(i));
+        std::swap(shuffled[i - 1], shuffled[j]);
+      }
+      const std::vector<double> stats = all_statistics(shuffled);
+      for (std::size_t s = 0; s < n_stats; ++s) {
+        if (stats[s] < original[s]) {
+          ++local_below[s];
+        } else if (stats[s] == original[s]) {
+          ++local_equal[s];
+        }
       }
     }
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    for (std::size_t s = 0; s < n_stats; ++s) {
+      below[s] += local_below[s];
+      equal[s] += local_equal[s];
+    }
+  };
+
+  if (n_threads <= 1 || permutations <= 1) {
+    run_range(0, permutations);
+  } else {
+    const std::size_t workers = std::min(n_threads, permutations);
+    support::ThreadPool pool(workers);
+    const std::size_t per_chunk = (permutations + workers - 1) / workers;
+    std::vector<std::future<void>> futures;
+    for (std::size_t lo = 0; lo < permutations; lo += per_chunk) {
+      const std::size_t hi = std::min(lo + per_chunk, permutations);
+      futures.push_back(pool.submit([&, lo, hi] { run_range(lo, hi); }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  for (std::size_t s = 0; s < n_stats; ++s) {
+    result.statistics[s].rank_below = below[s];
+    result.statistics[s].rank_equal = equal[s];
   }
 
   // Two-tailed rank acceptance: the spec rejects when C0 + C1 <= 5 or

@@ -1,0 +1,109 @@
+// Bounded MPMC FIFO with blocking push/pop — the hand-off channel between
+// entropy producers and consumers (core::EntropyPool) and a reusable
+// backpressure primitive.
+//
+// Semantics:
+//  * push blocks while the buffer is full (backpressure on producers);
+//  * pop blocks while the buffer is empty;
+//  * close() makes every pending and future push fail immediately, while
+//    pops keep draining the remaining items and then fail — so a consumer
+//    always sees every item produced before the close.
+// FIFO order is global: items come out in the order their pushes completed.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace dhtrng::support {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : slots_(capacity == 0 ? 1 : capacity) {}
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  /// Blocking push; returns false (dropping the item) once closed.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] { return closed_ || count_ < slots_.size(); });
+    if (closed_) return false;
+    slots_[(head_ + count_) % slots_.size()] = std::move(item);
+    ++count_;
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; returns false when full or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || count_ == slots_.size()) return false;
+      slots_[(head_ + count_) % slots_.size()] = std::move(item);
+      ++count_;
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop; empty optional only after close() with the buffer drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || count_ > 0; });
+    if (count_ == 0) return std::nullopt;  // closed and drained
+    return take_locked(lock);
+  }
+
+  /// Non-blocking pop; empty optional when nothing is buffered.
+  std::optional<T> try_pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (count_ == 0) return std::nullopt;
+    return take_locked(lock);
+  }
+
+  /// Fail pending/future pushes, let pops drain what remains, wake everyone.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+ private:
+  std::optional<T> take_locked(std::unique_lock<std::mutex>& lock) {
+    T item = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --count_;
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace dhtrng::support

@@ -1,0 +1,84 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace dhtrng::support {
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  const std::size_t n = std::max<std::size_t>(n_threads, 1);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(packaged));
+  }
+  work_available_.notify_one();
+  return future;
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t chunks = std::min(n, workers_.size());
+  const std::size_t per_chunk = (n + chunks - 1) / chunks;
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * per_chunk;
+    const std::size_t hi = std::min(lo + per_chunk, end);
+    if (lo >= hi) break;
+    futures.push_back(submit([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }));
+  }
+
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::size_t ThreadPool::hardware_threads() {
+  return std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures exceptions into the future
+  }
+}
+
+}  // namespace dhtrng::support

@@ -1,0 +1,201 @@
+#include "core/entropy_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace dhtrng::core {
+namespace {
+
+/// Seeded pseudo-random source standing in for a healthy TRNG (orders of
+/// magnitude faster than the physical models — keeps these tests tight).
+class IdealSource final : public TrngSource {
+ public:
+  explicit IdealSource(std::uint64_t seed) : rng_(seed) {}
+  std::string name() const override { return "ideal"; }
+  bool next_bit() override { return rng_.bernoulli(0.5); }
+  void restart() override {}
+  sim::ResourceCounts resources() const override { return {}; }
+  double clock_mhz() const override { return 100.0; }
+  fpga::ActivityEstimate activity() const override { return {}; }
+
+ private:
+  support::Xoshiro256 rng_;
+};
+
+/// A source that is healthy until `fail_after` bits, then sticks at 0 —
+/// and stays stuck through any number of reseeds (a dead ring oscillator).
+class StuckSource final : public TrngSource {
+ public:
+  StuckSource(std::uint64_t seed, std::uint64_t fail_after)
+      : rng_(seed), remaining_(fail_after) {}
+  std::string name() const override { return "stuck-at-0"; }
+  bool next_bit() override {
+    if (remaining_ == 0) return false;
+    --remaining_;
+    return rng_.bernoulli(0.5);
+  }
+  void restart() override {}
+  sim::ResourceCounts resources() const override { return {}; }
+  double clock_mhz() const override { return 100.0; }
+  fpga::ActivityEstimate activity() const override { return {}; }
+
+ private:
+  support::Xoshiro256 rng_;
+  std::uint64_t remaining_;
+};
+
+EntropyPool::SourceFactory ideal_factory() {
+  return [](std::size_t, std::uint64_t seed) {
+    return std::make_unique<IdealSource>(seed);
+  };
+}
+
+TEST(EntropyPool, ServesRequestedBytes) {
+  EntropyPool pool({.producers = 3, .buffer_bytes = 1024, .block_bits = 256},
+                   ideal_factory());
+  const auto bytes = pool.get_bytes(512);
+  EXPECT_EQ(bytes.size(), 512u);
+  EXPECT_EQ(pool.healthy_producers(), 3u);
+  EXPECT_EQ(pool.quarantine_events(), 0u);
+}
+
+TEST(EntropyPool, OutputLooksRandom) {
+  EntropyPool pool({.producers = 2, .buffer_bytes = 4096, .block_bits = 512},
+                   ideal_factory());
+  const auto bytes = pool.get_bytes(8192);
+  std::size_t ones = 0;
+  for (std::uint8_t b : bytes) {
+    ones += static_cast<std::size_t>(__builtin_popcount(b));
+  }
+  const double bias = static_cast<double>(ones) / (8192.0 * 8.0);
+  EXPECT_NEAR(bias, 0.5, 0.02);
+}
+
+TEST(EntropyPool, RejectsBadConfig) {
+  EXPECT_THROW(EntropyPool({.producers = 0}, ideal_factory()),
+               std::invalid_argument);
+  EXPECT_THROW(EntropyPool({.block_bits = 12}, ideal_factory()),
+               std::invalid_argument);
+}
+
+TEST(EntropyPool, ConcurrentConsumersDrainWithoutLossOrDuplication) {
+  EntropyPool pool({.producers = 4, .buffer_bytes = 512, .block_bits = 256},
+                   ideal_factory());
+  std::atomic<std::size_t> total{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 4; ++c) {
+    consumers.emplace_back([&pool, &total] {
+      for (int i = 0; i < 10; ++i) {
+        total += pool.get_bytes(100).size();
+      }
+    });
+  }
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(total.load(), 4u * 10u * 100u);
+  EXPECT_GE(pool.bytes_produced(), total.load());
+}
+
+TEST(EntropyPool, QuarantinesAndReseedsFailingProducer) {
+  // Producer 0 sticks at 0 after 4000 bits; its replacement (same factory,
+  // fresh seed) is healthy.  The pool must alarm on the stuck block,
+  // reseed, and keep serving — with no producer permanently retired.
+  std::atomic<int> builds_of_producer0{0};
+  EntropyPool pool(
+      {.producers = 2, .buffer_bytes = 2048, .block_bits = 512},
+      [&](std::size_t index, std::uint64_t seed) -> std::unique_ptr<TrngSource> {
+        if (index == 0 && builds_of_producer0.fetch_add(1) == 0) {
+          return std::make_unique<StuckSource>(seed, 4000);
+        }
+        return std::make_unique<IdealSource>(seed);
+      });
+  // Pull enough to guarantee the stuck region was generated and gated.
+  const auto bytes = pool.get_bytes(4096);
+  EXPECT_EQ(bytes.size(), 4096u);
+  // Wait for the quarantine to be observable (the producer alarms while
+  // consumers drain; give it a bounded grace window).
+  for (int i = 0; i < 200 && pool.quarantine_events() == 0; ++i) {
+    pool.get_bytes(256);
+  }
+  EXPECT_GE(pool.quarantine_events(), 1u);
+  EXPECT_GE(builds_of_producer0.load(), 2);  // initial + >= 1 reseed
+  EXPECT_EQ(pool.healthy_producers(), 2u);
+}
+
+TEST(EntropyPool, StuckProducerNeverContaminatesOutput) {
+  // One producer emits all-zero bits from the start, through every reseed.
+  // Every byte it generates must be discarded by the health gate: with the
+  // other producer ideal, long all-zero runs cannot appear in the output.
+  EntropyPool pool(
+      {.producers = 2, .buffer_bytes = 1024, .block_bits = 256},
+      [](std::size_t index, std::uint64_t seed) -> std::unique_ptr<TrngSource> {
+        if (index == 0) return std::make_unique<StuckSource>(seed, 0);
+        return std::make_unique<IdealSource>(seed);
+      });
+  const auto bytes = pool.get_bytes(16384);
+  std::size_t zero_run = 0, worst_run = 0;
+  for (std::uint8_t b : bytes) {
+    zero_run = b == 0 ? zero_run + 1 : 0;
+    worst_run = std::max(worst_run, zero_run);
+  }
+  // A stuck block is 32 all-zero bytes; an ideal stream of 16 KiB has
+  // ~2e-9 probability of even 4 consecutive zero bytes.
+  EXPECT_LT(worst_run, 4u);
+  EXPECT_EQ(pool.healthy_producers(), 1u);  // the stuck one retired
+  EXPECT_GE(pool.quarantine_events(), 1u);
+}
+
+TEST(EntropyPool, RefusesOnlyWhenAllProducersUnhealthy) {
+  // Both producers stuck from the start: after max_reseeds each, the pool
+  // is exhausted and get_bytes must throw rather than emit unhealthy bytes.
+  EntropyPool pool(
+      {.producers = 2, .buffer_bytes = 256, .block_bits = 256,
+       .max_reseeds = 2},
+      [](std::size_t, std::uint64_t seed) {
+        return std::make_unique<StuckSource>(seed, 0);
+      });
+  EXPECT_THROW(pool.get_bytes(64), EntropyExhausted);
+  EXPECT_EQ(pool.healthy_producers(), 0u);
+  EXPECT_EQ(pool.bytes_produced(), 0u);
+}
+
+TEST(EntropyPool, CleanShutdownWhileProducersBlocked) {
+  // Destructor races producers blocked on a full buffer — must not hang.
+  auto pool = std::make_unique<EntropyPool>(
+      EntropyPoolConfig{.producers = 4, .buffer_bytes = 64, .block_bits = 256},
+      ideal_factory());
+  (void)pool->get_bytes(32);
+  pool.reset();  // join all producers
+  SUCCEED();
+}
+
+TEST(EntropyPool, StopIsIdempotentAndDrains) {
+  EntropyPool pool({.producers = 2, .buffer_bytes = 512, .block_bits = 256},
+                   ideal_factory());
+  (void)pool.get_bytes(64);
+  pool.stop();
+  pool.stop();
+  // After stop, the remaining buffered bytes drain, then it refuses.
+  EXPECT_THROW(
+      {
+        for (;;) (void)pool.get_bytes(1);
+      },
+      EntropyExhausted);
+}
+
+TEST(EntropyPool, DhTrngConvenienceFactory) {
+  auto pool = EntropyPool::of_dhtrng(
+      {.producers = 2, .buffer_bytes = 512, .block_bits = 256},
+      {.seed = 99});
+  const auto bytes = pool.get_bytes(128);
+  EXPECT_EQ(bytes.size(), 128u);
+  EXPECT_EQ(pool.healthy_producers(), 2u);
+}
+
+}  // namespace
+}  // namespace dhtrng::core

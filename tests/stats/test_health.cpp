@@ -62,6 +62,32 @@ TEST(AdaptiveProportionTest, HealthyOnIdealSource) {
   }
 }
 
+TEST(AdaptiveProportionTest, AlarmsExactlyAtSpecCutoff) {
+  // SP 800-90B 4.4.2: the counter starts at 1 on the window's reference
+  // sample, so C *total* occurrences of that value (reference included)
+  // must alarm — feeding the reference value C times in a row does it.
+  AdaptiveProportionTest apt(1.0, 64);
+  const std::size_t c = apt.cutoff();
+  ASSERT_GT(c, 2u);
+  ASSERT_LT(c, 64u);
+  bool healthy = true;
+  for (std::size_t i = 0; i < c; ++i) healthy = apt.feed(true);
+  EXPECT_FALSE(healthy);
+  EXPECT_TRUE(apt.alarmed());
+}
+
+TEST(AdaptiveProportionTest, OneBelowCutoffStaysHealthy) {
+  // C - 1 total occurrences (the forced near-failure stream) must NOT
+  // alarm, in this window or after the counter resets in the next one.
+  AdaptiveProportionTest apt(1.0, 64);
+  const std::size_t c = apt.cutoff();
+  for (int window = 0; window < 2; ++window) {
+    for (std::size_t i = 0; i < c - 1; ++i) ASSERT_TRUE(apt.feed(true));
+    for (std::size_t i = c - 1; i < 64; ++i) ASSERT_TRUE(apt.feed(false));
+  }
+  EXPECT_FALSE(apt.alarmed());
+}
+
 TEST(AdaptiveProportionTest, LowerClaimToleratesMoreBias) {
   AdaptiveProportionTest strict(1.0);
   AdaptiveProportionTest lax(0.3);

@@ -165,6 +165,26 @@ TEST(Lz78y, DetectsDictionaryStructure) {
   EXPECT_LT(lz78y(markov_bits(500000, 0.9, 24)).h_min, 0.4);
 }
 
+TEST(EstimatorKat, BiasedBernoulliStream) {
+  // Known-answer test on a fixed stream: Bernoulli(p = 0.75), seed 42,
+  // 5e5 bits.  The true per-bit min-entropy is -log2(0.75) = 0.415037.
+  // MCV reports an upper confidence bound on p (99% CI half-width
+  // 2.576*sqrt(p(1-p)/(n-1)) ~ 0.0016 at this n), so its p-max must land
+  // in a narrow band just above the empirical frequency.
+  const auto bits = biased_bits(500000, 0.75, 42);
+  const auto m = mcv(bits);
+  EXPECT_GT(m.p_max, 0.747);
+  EXPECT_LT(m.p_max, 0.754);
+  EXPECT_NEAR(m.h_min, 0.415037, 0.008);
+  // An independent biased stream has no serial structure, so the Markov
+  // estimate converges on the same bias entropy...
+  EXPECT_NEAR(markov(bits).h_min, 0.415037, 0.02);
+  // ...and the suite minimum can never exceed the MCV row.
+  EXPECT_LE(overall_min_entropy(bits), m.h_min + 1e-12);
+  // The IID-track assessment is defined as exactly the MCV number.
+  EXPECT_DOUBLE_EQ(iid_min_entropy(bits), m.h_min);
+}
+
 TEST(Suite, RunAllHasTenRowsInTable4Order) {
   const auto rows = run_all(ideal_bits(200000, 25));
   ASSERT_EQ(rows.size(), 10u);

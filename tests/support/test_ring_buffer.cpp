@@ -1,0 +1,156 @@
+#include "support/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace dhtrng::support {
+namespace {
+
+TEST(RingBuffer, FifoOrderSingleThread) {
+  RingBuffer<int> rb(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(rb.try_push(i));
+  for (int i = 0; i < 5; ++i) {
+    auto v = rb.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(rb.try_pop().has_value());
+}
+
+TEST(RingBuffer, WraparoundPreservesOrder) {
+  RingBuffer<int> rb(4);
+  int next_in = 0, next_out = 0;
+  // Interleave pushes and pops so head wraps the 4-slot storage many times.
+  for (int round = 0; round < 25; ++round) {
+    while (rb.try_push(next_in)) ++next_in;
+    for (int i = 0; i < 3; ++i) {
+      auto v = rb.try_pop();
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, next_out++);
+    }
+  }
+}
+
+TEST(RingBuffer, TryPushFailsWhenFull) {
+  RingBuffer<int> rb(2);
+  EXPECT_TRUE(rb.try_push(1));
+  EXPECT_TRUE(rb.try_push(2));
+  EXPECT_FALSE(rb.try_push(3));
+  EXPECT_EQ(rb.size(), 2u);
+}
+
+TEST(RingBuffer, BackpressureBlocksProducerUntilPop) {
+  RingBuffer<int> rb(2);
+  ASSERT_TRUE(rb.push(1));
+  ASSERT_TRUE(rb.push(2));
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    rb.push(3);  // blocks: buffer full
+    third_pushed.store(true);
+  });
+  // The producer cannot complete until a slot frees up.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_pushed.load());
+  EXPECT_EQ(rb.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  EXPECT_EQ(rb.pop().value(), 2);
+  EXPECT_EQ(rb.pop().value(), 3);
+}
+
+TEST(RingBuffer, PopBlocksUntilPush) {
+  RingBuffer<int> rb(4);
+  std::thread consumer([&] {
+    auto v = rb.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 42);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  rb.push(42);
+  consumer.join();
+}
+
+TEST(RingBuffer, CloseWakesBlockedConsumerEmptyHanded) {
+  RingBuffer<int> rb(4);
+  std::thread consumer([&] { EXPECT_FALSE(rb.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  rb.close();
+  consumer.join();
+}
+
+TEST(RingBuffer, CloseFailsPushesButDrainsPops) {
+  RingBuffer<int> rb(4);
+  ASSERT_TRUE(rb.push(7));
+  ASSERT_TRUE(rb.push(8));
+  rb.close();
+  EXPECT_FALSE(rb.push(9));
+  EXPECT_FALSE(rb.try_push(9));
+  EXPECT_EQ(rb.pop().value(), 7);   // buffered items survive the close
+  EXPECT_EQ(rb.pop().value(), 8);
+  EXPECT_FALSE(rb.pop().has_value());
+}
+
+TEST(RingBuffer, ManyProducersManyConsumersDeliverEverythingOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  RingBuffer<int> rb(16);  // small capacity: forces constant backpressure
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&rb, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(rb.push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<int> seen(kProducers * kPerProducer, 0);
+  std::mutex seen_mutex;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      for (;;) {
+        auto v = rb.pop();
+        if (!v) return;
+        std::lock_guard<std::mutex> lock(seen_mutex);
+        ++seen[static_cast<std::size_t>(*v)];
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  rb.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(std::accumulate(seen.begin(), seen.end(), 0),
+            kProducers * kPerProducer);
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(RingBuffer, PerProducerOrderIsPreserved) {
+  // Global FIFO implies each producer's items arrive in its push order.
+  RingBuffer<std::pair<int, int>> rb(8);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&rb, p] {
+      for (int i = 0; i < 500; ++i) ASSERT_TRUE(rb.push({p, i}));
+    });
+  }
+  std::vector<int> last_seen(3, -1);
+  std::thread consumer([&] {
+    for (;;) {
+      auto v = rb.pop();
+      if (!v) return;
+      EXPECT_EQ(v->second, last_seen[static_cast<std::size_t>(v->first)] + 1);
+      last_seen[static_cast<std::size_t>(v->first)] = v->second;
+    }
+  });
+  for (auto& t : producers) t.join();
+  rb.close();
+  consumer.join();
+  for (int last : last_seen) EXPECT_EQ(last, 499);
+}
+
+}  // namespace
+}  // namespace dhtrng::support
