@@ -28,6 +28,27 @@ inline long long flag(int argc, char** argv, const char* name,
   return fallback;
 }
 
+/// Parse "--name=value" (string) from argv, else return fallback.
+inline std::string flag_str(int argc, char** argv, const char* name,
+                            const std::string& fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+/// Parse a bare "--name" switch.
+inline bool flag_set(int argc, char** argv, const char* name) {
+  const std::string want = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (want == argv[i]) return true;
+  }
+  return false;
+}
+
 inline void header(const char* experiment, const char* paper_ref) {
   std::printf("=============================================================\n");
   std::printf("%s\n", experiment);

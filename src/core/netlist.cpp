@@ -173,4 +173,41 @@ XorRoNetlist build_xor_ro_netlist(const fpga::DeviceModel& device,
   return n;
 }
 
+std::vector<NamedGateNetlist> golden_gate_netlists(
+    const fpga::DeviceModel& device) {
+  std::vector<NamedGateNetlist> out;
+
+  {
+    DhTrngNetlist n = build_dhtrng_netlist(device, 600.0);
+    const sim::Circuit& c = n.circuit;
+    NamedGateNetlist g;
+    g.name = "dhtrng";
+    g.watch = {n.out_net,          c.net("fb"),       c.net("s0_a_r1"),
+               c.net("s0_a_r2"),   c.net("s0_c1_x1"), c.net("s1_c2_x1"),
+               c.net("xt2")};
+    g.circuit = std::move(n.circuit);
+    out.push_back(std::move(g));
+  }
+  {
+    DhTrngNetlist n = build_dhtrng_netlist(device, 600.0, /*coupling=*/false,
+                                           /*feedback=*/false);
+    const sim::Circuit& c = n.circuit;
+    NamedGateNetlist g;
+    g.name = "dhtrng_uncoupled";
+    g.watch = {n.out_net, c.net("s0_a_r1"), c.net("s0_c1_x1"), c.net("xt2")};
+    g.circuit = std::move(n.circuit);
+    out.push_back(std::move(g));
+  }
+  {
+    XorRoNetlist n = build_xor_ro_netlist(device, 3, 8, 600.0);
+    const sim::Circuit& c = n.circuit;
+    NamedGateNetlist g;
+    g.name = "xor_ro";
+    g.watch = {n.out_net, c.net("ro0_n2"), c.net("ro7_n2"), c.net("xt0_0")};
+    g.circuit = std::move(n.circuit);
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
 }  // namespace dhtrng::core

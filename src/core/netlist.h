@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "fpga/device.h"
@@ -55,5 +56,22 @@ struct XorRoNetlist {
 
 XorRoNetlist build_xor_ro_netlist(const fpga::DeviceModel& device,
                                   int stages, int rings, double clock_mhz);
+
+/// A named gate-level netlist plus a curated set of nets to trace — the
+/// shared inventory behind the golden-waveform digest tests
+/// (tests/sim/test_golden_waveforms.cpp) and `bench_sim_microbench`.
+/// Changing any of these circuits invalidates the pinned digests; see
+/// docs/architecture.md ("Regenerating golden digests").
+struct NamedGateNetlist {
+  std::string name;
+  sim::Circuit circuit;
+  std::vector<sim::NetId> watch;  ///< nets traced into the golden VCD
+};
+
+/// The DH-TRNG netlist (full and with the Section 3.2 strategies ablated)
+/// and the parallel-XOR RO baseline, all built for `device` at a 600 MHz
+/// sampling clock.
+std::vector<NamedGateNetlist> golden_gate_netlists(
+    const fpga::DeviceModel& device);
 
 }  // namespace dhtrng::core

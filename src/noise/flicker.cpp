@@ -1,5 +1,6 @@
 #include "noise/flicker.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <stdexcept>
@@ -18,6 +19,8 @@ FlickerNoise::FlickerNoise(double amplitude, int octaves, std::uint64_t seed)
 double FlickerNoise::next() {
   // Row k is refreshed when bit k is the lowest set bit of the counter, so
   // row k changes once every 2^(k+1) samples: the classic pink-noise lattice.
+  // The left-to-right summation order is part of the determinism contract
+  // (golden bitstreams pin the exact doubles).
   ++counter_;
   const int row = std::countr_zero(counter_);
   if (row < static_cast<int>(rows_.size())) {
@@ -26,6 +29,37 @@ double FlickerNoise::next() {
   double sum = 0.0;
   for (double r : rows_) sum += r;
   return sum;
+}
+
+void FlickerNoise::fill(double* out, std::size_t n) {
+  const int octaves = static_cast<int>(rows_.size());
+  std::size_t done = 0;
+  double draws[64];
+  while (done < n) {
+    const std::size_t chunk = std::min<std::size_t>(64, n - done);
+    // Row k is refreshed when countr_zero(counter) == k < octaves; count
+    // the refreshes in this chunk, pre-draw exactly that many gaussians
+    // (same stream, same order as per-call next()), then replay the
+    // lattice consuming them.
+    std::size_t need = 0;
+    for (std::size_t i = 0; i < chunk; ++i) {
+      if (std::countr_zero(counter_ + 1 + i) < octaves) ++need;
+    }
+    rng_.gaussian_fill(draws, need);
+    std::size_t used = 0;
+    for (std::size_t i = 0; i < chunk; ++i) {
+      ++counter_;
+      const int row = std::countr_zero(counter_);
+      if (row < octaves) {
+        // Identical arithmetic to rng_.gaussian(0.0, amplitude_).
+        rows_[static_cast<std::size_t>(row)] = 0.0 + amplitude_ * draws[used++];
+      }
+      double sum = 0.0;
+      for (double r : rows_) sum += r;
+      out[done + i] = sum;
+    }
+    done += chunk;
+  }
 }
 
 double FlickerNoise::marginal_sigma() const {

@@ -12,6 +12,7 @@
 // The spectrum approximates 1/f over ~`octaves` decades of frequency.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -27,6 +28,12 @@ class FlickerNoise {
 
   /// Next correlated sample.
   double next();
+
+  /// Fill `out[0..n)` with the next `n` samples — bit-identical to n
+  /// successive next() calls, but the row-update gaussians are drawn in
+  /// blocks so the batched noise path pays one call per block instead of
+  /// one per sample.
+  void fill(double* out, std::size_t n);
 
   /// Std-dev of the marginal distribution of samples.
   double marginal_sigma() const;

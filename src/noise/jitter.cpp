@@ -6,13 +6,29 @@ namespace dhtrng::noise {
 
 SharedSupplyNoise::SharedSupplyNoise(double sigma_ps, std::uint64_t seed,
                                      double correlation)
-    : sigma_(sigma_ps), rho_(correlation), rng_(seed) {}
+    : sigma_(sigma_ps),
+      rho_(correlation),
+      innovation_sigma_(std::sqrt(1.0 - correlation * correlation) * sigma_ps),
+      rng_(seed) {}
 
-double SharedSupplyNoise::step() {
+double SharedSupplyNoise::step_uncached() {
   // AR(1) with stationary sigma equal to sigma_: x' = rho x + sqrt(1-rho^2) w.
-  const double innovation = std::sqrt(1.0 - rho_ * rho_) * sigma_;
-  value_ = rho_ * value_ + rng_.gaussian(0.0, innovation);
+  value_ = rho_ * value_ + rng_.gaussian(0.0, innovation_sigma_);
   return value_;
+}
+
+void SharedSupplyNoise::refill() {
+  block_.resize(batch_);
+  rng_.gaussian_fill(block_.data(), batch_);
+  // Run the recurrence over the pre-drawn innovations; arithmetic is
+  // identical to batch_ successive step_uncached() calls
+  // (gaussian(0, s) == 0.0 + s * gaussian()).
+  double v = value_;
+  for (std::size_t i = 0; i < batch_; ++i) {
+    v = rho_ * v + (0.0 + innovation_sigma_ * block_[i]);
+    block_[i] = v;
+  }
+  block_pos_ = 0;
 }
 
 EdgeJitterSource::EdgeJitterSource(const JitterParams& params,
@@ -25,14 +41,38 @@ EdgeJitterSource::EdgeJitterSource(const JitterParams& params,
       flicker_(params.flicker_sigma_ps / std::sqrt(12.0), 12, seed ^ 0x9e3779b97f4a7c15ULL),
       shared_(shared) {}
 
-double EdgeJitterSource::next_edge_jitter(const PvtScaling& scale) {
-  double jitter = rng_.gaussian(0.0, params_.white_sigma_ps * scale.white_jitter);
-  jitter += flicker_.next() * scale.correlated_noise;
-  if (shared_ != nullptr) {
-    jitter += shared_->step() * scale.correlated_noise *
-              (params_.correlated_sigma_ps > 0.0 ? 1.0 : 0.0);
+void EdgeJitterSource::set_batch(std::size_t n) {
+  // Takes effect at the next refill; draws already in the block are
+  // consumed first, so the per-stream sequence never skips or repeats.
+  batch_ = n > 1 ? n : 1;
+}
+
+void EdgeJitterSource::refill() {
+  white_block_.resize(batch_);
+  flicker_block_.resize(batch_);
+  // The white and flicker components come from independent streams, so
+  // filling one whole block and then the other consumes each stream in
+  // exactly the per-call order.
+  rng_.gaussian_fill(white_block_.data(), batch_);
+  flicker_.fill(flicker_block_.data(), batch_);
+  block_pos_ = 0;
+}
+
+double EdgeJitterSource::next_edge_jitter_slow(const PvtScaling& scale) {
+  if (batch_ > 1) {
+    // Block exhausted: refill and consume the first draw.  (A
+    // set_batch(1) downgrade drains leftovers through the inline path
+    // first, so the per-stream sequence never skips or repeats.)
+    refill();
+    const double white = white_block_[block_pos_];
+    const double flicker = flicker_block_[block_pos_];
+    ++block_pos_;
+    return combine(white, flicker, scale);
   }
-  return jitter;
+  // Historical per-call draws.
+  const double white = rng_.gaussian();
+  const double flicker = flicker_.next();
+  return combine(white, flicker, scale);
 }
 
 }  // namespace dhtrng::noise

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "noise/flicker.h"
 #include "noise/pvt.h"
@@ -31,20 +32,48 @@ struct JitterParams {
 
 /// The device-wide shared noise source (one per simulated "chip").
 /// Sources sample it once per edge; it evolves as a slow AR(1) process.
+///
+/// The AR(1) trajectory depends only on this object's private RNG stream,
+/// not on which source calls step() — the global cross-source call order
+/// decides who *receives* the k-th value, and consumption order equals
+/// call order either way.  So the trajectory can be precomputed in blocks
+/// (set_batch) with a bit-identical value stream.
 class SharedSupplyNoise {
  public:
   SharedSupplyNoise(double sigma_ps, std::uint64_t seed,
                     double correlation = 0.995);
 
   /// Advance one step and return the current value (ps).
-  double step();
+  double step() {
+    if (block_pos_ < block_.size()) {
+      value_ = block_[block_pos_++];
+      return value_;
+    }
+    if (batch_ > 1) {
+      refill();
+      value_ = block_[block_pos_++];
+      return value_;
+    }
+    return step_uncached();
+  }
   double current() const { return value_; }
 
+  /// Precompute the trajectory `n` steps at a time (n <= 1 restores
+  /// per-call stepping; buffered values are always drained first).
+  void set_batch(std::size_t n) { batch_ = n > 1 ? n : 1; }
+
  private:
+  double step_uncached();
+  void refill();
+
   double sigma_;
   double rho_;
+  double innovation_sigma_;  ///< sqrt(1 - rho^2) * sigma, loop-invariant
   double value_ = 0.0;
   support::Xoshiro256 rng_;
+  std::vector<double> block_;
+  std::size_t block_pos_ = 0;
+  std::size_t batch_ = 1;
 };
 
 /// Per-source edge jitter generator.
@@ -54,19 +83,60 @@ class EdgeJitterSource {
                    SharedSupplyNoise* shared = nullptr);
 
   /// Delay perturbation (ps) for the next transition, with PVT scaling
-  /// applied to the component sigmas.
-  double next_edge_jitter(const PvtScaling& scale);
+  /// applied to the component sigmas.  The batched fast path (block
+  /// already filled) is inline; refills and per-call draws go out of
+  /// line.
+  double next_edge_jitter(const PvtScaling& scale) {
+    if (block_pos_ < white_block_.size()) {
+      const double white = white_block_[block_pos_];
+      const double flicker = flicker_block_[block_pos_];
+      ++block_pos_;
+      return combine(white, flicker, scale);
+    }
+    return next_edge_jitter_slow(scale);
+  }
 
   /// Same at the nominal corner.
   double next_edge_jitter() { return next_edge_jitter({1.0, 1.0, 1.0}); }
 
+  /// Draw the white and flicker components in blocks of `n` instead of one
+  /// pair per call (the event engine's hot path).  The per-call value
+  /// stream is bit-identical for every batch size — each component comes
+  /// from its own RNG stream, so pre-drawing a block does not reorder
+  /// anything; only the shared supply component, whose AR(1) state is
+  /// stepped in global cross-source order, stays per-call.  `n <= 1`
+  /// restores unbatched per-call draws.
+  void set_batch(std::size_t n);
+
   const JitterParams& params() const { return params_; }
 
  private:
+  void refill();
+  double next_edge_jitter_slow(const PvtScaling& scale);
+
+  /// Identical arithmetic to the historical per-call path:
+  /// gaussian(0, sigma) == 0.0 + sigma * gaussian().
+  double combine(double white, double flicker, const PvtScaling& scale) {
+    double jitter = 0.0 + params_.white_sigma_ps * scale.white_jitter * white;
+    jitter += flicker * scale.correlated_noise;
+    if (shared_ != nullptr) {
+      jitter += shared_->step() * scale.correlated_noise *
+                (params_.correlated_sigma_ps > 0.0 ? 1.0 : 0.0);
+    }
+    return jitter;
+  }
+
   JitterParams params_;
   support::Xoshiro256 rng_;
   FlickerNoise flicker_;
   SharedSupplyNoise* shared_;
+  // Raw (unscaled) block buffers: white is a standard normal, flicker the
+  // raw process sample; PVT scaling is applied at consumption time so a
+  // scale change mid-block stays correct.
+  std::vector<double> white_block_;
+  std::vector<double> flicker_block_;
+  std::size_t block_pos_ = 0;
+  std::size_t batch_ = 1;
 };
 
 }  // namespace dhtrng::noise

@@ -1,0 +1,477 @@
+// Calendar (bucket) event queue over a slab allocator.
+//
+// The simulator's schedule is a strict total order on (time, seq): events
+// pop in nondecreasing time, ties broken by insertion sequence number.  A
+// binary heap gives that order in O(log n) per operation with one heap
+// node per event; the calendar queue gives amortized O(1) by hashing each
+// event into a time bucket of fixed width and scanning the current bucket
+// only.  Because bucket ordinal floor(time / width) is monotone in time,
+// the earliest (time, seq) event always lives in the lowest occupied
+// ordinal, so the calendar pops in exactly the same order as the heap —
+// which is what the differential fuzz tests assert event-for-event.
+//
+// Events live in a slab (index-addressed pool with a free list), so
+// scheduling allocates nothing after warm-up and cancellation (inertial
+// runt swallowing) is an O(1) tombstone instead of the reference
+// scheduler's dead-list scan.  Bucket entries carry (time, ord, idx) so
+// the hot scan walks contiguous memory; the slab is touched only for
+// equal-time tie-breaks, the dead check of the winning entry, and the
+// final pop.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "sim/circuit.h"
+
+namespace dhtrng::sim {
+
+/// A scheduled net transition, as observed by the differential tests.
+struct SimEvent {
+  double time;
+  std::uint64_t seq;
+  NetId net;
+  bool value;
+};
+
+inline bool operator==(const SimEvent& a, const SimEvent& b) {
+  return a.time == b.time && a.seq == b.seq && a.net == b.net &&
+         a.value == b.value;
+}
+
+class CalendarQueue {
+ public:
+  /// `bucket_width_ps` is the time span hashed into one bucket; the queue
+  /// retunes it at runtime from the observed event density, so the
+  /// starting value only has to be in the right ballpark.
+  explicit CalendarQueue(double bucket_width_ps,
+                         std::size_t initial_buckets = 64)
+      : width_(bucket_width_ps > 0.0 ? bucket_width_ps : 1.0),
+        inv_width_(1.0 / width_) {
+    std::size_t n = 1;
+    while (n < initial_buckets) n <<= 1;
+    buckets_.resize(n);
+    occ_.assign(n >= 64 ? n >> 6 : 1, 0);
+  }
+
+  bool empty() const { return live_ == 0; }
+  std::size_t live() const { return live_; }
+
+  /// Insert and return the slab index (stable until the event pops).
+  std::uint32_t push(double time, std::uint64_t seq, NetId net, bool value) {
+    std::uint32_t idx;
+    if (!free_.empty()) {
+      idx = free_.back();
+      free_.pop_back();
+    } else {
+      idx = static_cast<std::uint32_t>(slab_.size());
+      slab_.push_back({});
+    }
+    Slot& s = slab_[idx];
+    s.time = time;
+    s.seq = seq;
+    s.net = net;
+    s.value = value ? 1 : 0;
+    s.dead = 0;
+    // Multiply by the cached reciprocal: the ordinal only has to be a
+    // monotone function of time computed consistently (here and in
+    // rebuild()); exact division-boundary placement is irrelevant.
+    const std::uint64_t ord = static_cast<std::uint64_t>(time * inv_width_);
+    const std::size_t bucket = ord & (buckets_.size() - 1);
+    buckets_[bucket].push_back({time, ord, idx});
+    occ_[bucket >> 6] |= std::uint64_t{1} << (bucket & 63);
+    ++live_;
+    ++stored_;
+    // Push only appends, so the cached minimum and runner-up stay valid;
+    // the new event just might displace one of them.  (Ties are
+    // impossible: seq is strictly increasing, so an equal-time push loses
+    // to any cached event.)
+    if (have_peek_) {
+      if (time < slab_[peek_idx_].time) {
+        // New global minimum; the old minimum becomes the runner-up (it
+        // was smaller than everything else, including any old runner).
+        runner_bucket_ = peek_bucket_;
+        runner_pos_ = peek_pos_;
+        runner_idx_ = peek_idx_;
+        have_runner_ = true;
+        peek_bucket_ = bucket;
+        peek_pos_ = buckets_[bucket].size() - 1;
+        peek_idx_ = idx;
+      } else if (have_runner_ && time < slab_[runner_idx_].time) {
+        // Between the minimum and the old runner-up: new second place.
+        runner_bucket_ = bucket;
+        runner_pos_ = buckets_[bucket].size() - 1;
+        runner_idx_ = idx;
+      }
+    }
+    if (stored_ > buckets_.size() * 8) grow();
+    return idx;
+  }
+
+  /// Tombstone a still-queued event (O(1)); the entry and slot are
+  /// reclaimed when the scan next selects it as the minimum.  Cancelling
+  /// the cached minimum promotes the runner-up (it was second smallest,
+  /// so it is now smallest); cancelling the runner-up just forgets it;
+  /// marking any other slot dead moves nothing.
+  void cancel(std::uint32_t idx) {
+    slab_[idx].dead = 1;
+    --live_;
+    if (have_peek_ && idx == peek_idx_) {
+      if (have_runner_) {
+        peek_bucket_ = runner_bucket_;
+        peek_pos_ = runner_pos_;
+        peek_idx_ = runner_idx_;
+        have_runner_ = false;
+      } else {
+        have_peek_ = false;
+      }
+    } else if (have_runner_ && idx == runner_idx_) {
+      have_runner_ = false;
+    }
+  }
+
+  /// Earliest live event in (time, seq) order, or nullptr when empty.
+  /// The pointer stays valid until the next push/cancel/pop.
+  const SimEvent* peek() {
+    if (live_ == 0) return nullptr;
+    if (!have_peek_) locate_min();
+    const Slot& s = slab_[peek_idx_];
+    peeked_ = {s.time, s.seq, s.net, s.value != 0};
+    return &peeked_;
+  }
+
+  /// Remove and return the earliest live event (queue must be non-empty).
+  /// When the last scan (or a later push) recorded a runner-up, it becomes
+  /// the new cached minimum — the common pop is O(1), no re-scan.
+  SimEvent pop() {
+    if (!have_peek_) locate_min();
+    const Slot& s = slab_[peek_idx_];
+    const SimEvent ev{s.time, s.seq, s.net, s.value != 0};
+    remove_peek();
+    return ev;
+  }
+
+  /// Fused peek+pop for the simulator's run loop: pop the earliest live
+  /// event into `out` iff its time is <= `t_ps`.  One slab read, one
+  /// minimum search, no intermediate SimEvent copy.
+  bool pop_if_due(double t_ps, SimEvent& out) {
+    if (live_ == 0) return false;
+    if (!have_peek_) locate_min();
+    const Slot& s = slab_[peek_idx_];
+    if (s.time > t_ps) return false;
+    out.time = s.time;
+    out.seq = s.seq;
+    out.net = s.net;
+    out.value = s.value != 0;
+    remove_peek();
+    return true;
+  }
+
+  double bucket_width_ps() const { return width_; }
+  std::size_t bucket_count() const { return buckets_.size(); }
+  std::size_t stored() const { return stored_; }
+
+ private:
+  struct Slot {
+    double time;
+    std::uint64_t seq;
+    NetId net;
+    std::uint8_t value;
+    std::uint8_t dead;
+  };
+
+  /// Bucket entry: everything the hot scan needs without touching the
+  /// slab.  `ord` distinguishes rotations sharing the bucket hash.
+  struct Entry {
+    double time;
+    std::uint64_t ord;
+    std::uint32_t idx;
+  };
+
+  void remove_at(std::size_t bucket, std::size_t pos) {
+    std::vector<Entry>& b = buckets_[bucket];
+    free_.push_back(b[pos].idx);
+    b[pos] = b.back();
+    b.pop_back();
+    --stored_;
+    if (b.empty()) occ_[bucket >> 6] &= ~(std::uint64_t{1} << (bucket & 63));
+  }
+
+  /// Remove the cached minimum and promote the runner-up (if any) to be
+  /// the new cached minimum.  Requires have_peek_.
+  void remove_peek() {
+    const std::size_t last = buckets_[peek_bucket_].size() - 1;
+    remove_at(peek_bucket_, peek_pos_);
+    --live_;
+    if (have_runner_) {
+      // remove_at swap-filled peek's hole with the bucket's back entry;
+      // if that back entry *was* the runner, it now lives at peek_pos_.
+      if (runner_bucket_ == peek_bucket_ && runner_pos_ == last) {
+        runner_pos_ = peek_pos_;
+      }
+      peek_bucket_ = runner_bucket_;
+      peek_pos_ = runner_pos_;
+      peek_idx_ = runner_idx_;
+      have_runner_ = false;
+    } else {
+      have_peek_ = false;
+    }
+    if (++pops_ >= retune_pops_) maybe_retune();
+  }
+
+  /// Scan buckets from cur_ord_ upward for the earliest live event,
+  /// jumping over empty buckets via the occupancy bitmap.  If a full
+  /// rotation of nonempty buckets finds nothing (their entries all belong
+  /// to later rotations — a sparse schedule, e.g. a lone slow clock),
+  /// jump cur_ord_ straight to the minimum occupied ordinal.
+  void locate_min() {
+    std::size_t rounds = 0;
+    for (;;) {
+      if (scan_bucket(cur_ord_)) return;
+      cur_ord_ += 1 + gap_to_next_occupied(
+          (static_cast<std::size_t>(cur_ord_) + 1) & (buckets_.size() - 1));
+      ++advances_;
+      if (++rounds > buckets_.size()) {
+        jump_to_min_ord();
+        scan_bucket(cur_ord_);
+        return;
+      }
+    }
+  }
+
+  /// Cyclic distance from bucket index `start` to the nearest nonempty
+  /// bucket at or after it (0 when `start` itself is nonempty); the
+  /// bucket count if every bucket is empty.
+  std::size_t gap_to_next_occupied(std::size_t start) const {
+    const std::size_t words = occ_.size();
+    const std::size_t w = start >> 6;
+    const std::uint64_t first = occ_[w] >> (start & 63);
+    if (first) return static_cast<std::size_t>(std::countr_zero(first));
+    for (std::size_t k = 1; k <= words; ++k) {
+      const std::uint64_t word = occ_[(w + k) & (words - 1)];
+      if (word) {
+        return (k << 6) - (start & 63) +
+               static_cast<std::size_t>(std::countr_zero(word));
+      }
+    }
+    return buckets_.size();
+  }
+
+  /// Find the earliest (time, seq) live event of ordinal `ord` in its
+  /// bucket; true if one exists (recorded in peek_*).  A dead winner is
+  /// reclaimed (entry removed, slot freed) and the bucket re-scanned —
+  /// tombstones are thus reclaimed exactly when they would have popped,
+  /// so a freed slot can never be shadowed by a stale bucket entry.
+  ///
+  /// The same pass records the second-earliest *live* event of this
+  /// ordinal as the runner-up.  All entries of later ordinals are
+  /// strictly later in time, so a same-ordinal second place is the global
+  /// second minimum — pop() and cancel() promote it without re-scanning.
+  /// (The runner must be live at selection: a tombstone standing in for
+  /// second place would let a later, smaller push displace it and then be
+  /// promoted over a live event between the two.)
+  bool scan_bucket(std::uint64_t ord) {
+    const std::size_t bucket = ord & (buckets_.size() - 1);
+    for (;;) {
+      std::vector<Entry>& b = buckets_[bucket];
+      scanned_ += b.size();
+      bool found = false;
+      double best_time = 0.0;
+      std::size_t best_pos = 0;
+      bool found2 = false;
+      double best2_time = 0.0;
+      std::size_t best2_pos = 0;
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        const Entry& e = b[i];
+        if (e.ord != ord) continue;
+        if (!found || e.time < best_time ||
+            (e.time == best_time &&
+             slab_[e.idx].seq < slab_[b[best_pos].idx].seq)) {
+          // The displaced leader was <= every other entry seen so far,
+          // including the current second place, so it simply becomes the
+          // new second place (if live).
+          if (found && !slab_[b[best_pos].idx].dead) {
+            found2 = true;
+            best2_time = best_time;
+            best2_pos = best_pos;
+          }
+          found = true;
+          best_time = e.time;
+          best_pos = i;
+        } else if (!slab_[e.idx].dead &&
+                   (!found2 || e.time < best2_time ||
+                    (e.time == best2_time &&
+                     slab_[e.idx].seq < slab_[b[best2_pos].idx].seq))) {
+          found2 = true;
+          best2_time = e.time;
+          best2_pos = i;
+        }
+      }
+      if (!found) return false;
+      const std::uint32_t idx = b[best_pos].idx;
+      if (slab_[idx].dead) {
+        remove_at(bucket, best_pos);
+        continue;
+      }
+      peek_bucket_ = bucket;
+      peek_pos_ = best_pos;
+      peek_idx_ = idx;
+      have_peek_ = true;
+      have_runner_ = found2;
+      if (found2) {
+        runner_bucket_ = bucket;
+        runner_pos_ = best2_pos;
+        runner_idx_ = b[best2_pos].idx;
+      }
+      return true;
+    }
+  }
+
+  void jump_to_min_ord() {
+    std::uint64_t min_ord = ~std::uint64_t{0};
+    for (const auto& b : buckets_) {
+      for (const Entry& e : b) {
+        if (!slab_[e.idx].dead && e.ord < min_ord) min_ord = e.ord;
+      }
+    }
+    cur_ord_ = min_ord;
+  }
+
+  /// Quadruple the bucket count and redistribute (ord is stored per
+  /// entry, so redistribution is a rehash, not a recompute).
+  void grow() {
+    std::vector<std::vector<Entry>> old = std::move(buckets_);
+    buckets_.assign(old.size() * 4, {});
+    for (auto& b : old) {
+      for (const Entry& e : b) {
+        buckets_[e.ord & (buckets_.size() - 1)].push_back(e);
+      }
+    }
+    reset_occupancy();
+    have_peek_ = false;
+    have_runner_ = false;
+  }
+
+  /// Recompute the occupancy bitmap from scratch (bucket layout changed).
+  void reset_occupancy() {
+    occ_.assign(buckets_.size() >= 64 ? buckets_.size() >> 6 : 1, 0);
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      if (!buckets_[i].empty()) {
+        occ_[i >> 6] |= std::uint64_t{1} << (i & 63);
+      }
+    }
+  }
+
+  /// Periodic width retune: when the measured work per pop (bucket entries
+  /// scanned + empty buckets advanced) climbs past a few units, the fixed
+  /// width no longer matches the schedule's event density and the calendar
+  /// degrades toward a linear scan.  Recompute the width from the median
+  /// inter-event gap of the live events (the classic calendar-queue
+  /// self-sizing rule) and rebuild.  Retuning never changes pop order —
+  /// order is the (time, seq) total order; buckets only accelerate the
+  /// search — and the trigger depends only on the push/pop sequence, so
+  /// runs stay deterministic.
+  void maybe_retune() {
+    const double window = static_cast<double>(pops_);
+    const double avg_work =
+        static_cast<double>(scanned_ + advances_) / window;
+    pops_ = 0;
+    scanned_ = 0;
+    advances_ = 0;
+    retune_pops_ = 4096;
+    if (live_ < 8 || avg_work <= 4.0) return;
+
+    std::vector<double> times;
+    times.reserve(live_);
+    for (const auto& b : buckets_) {
+      for (const Entry& e : b) {
+        if (!slab_[e.idx].dead) times.push_back(e.time);
+      }
+    }
+    std::sort(times.begin(), times.end());
+    std::vector<double> gaps;
+    gaps.reserve(times.size());
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      if (times[i] > times[i - 1]) gaps.push_back(times[i] - times[i - 1]);
+    }
+    double new_width;
+    if (!gaps.empty()) {
+      const auto mid =
+          gaps.begin() + static_cast<std::ptrdiff_t>(gaps.size() / 2);
+      std::nth_element(gaps.begin(), mid, gaps.end());
+      new_width = 1.5 * gaps[gaps.size() / 2];
+    } else {
+      const double span = times.back() - times.front();
+      new_width = span > 0.0 ? span / static_cast<double>(live_) : width_;
+    }
+    new_width = std::clamp(new_width, 1e-3, 1e7);
+    rebuild(new_width);
+  }
+
+  /// Re-hash every live event under a new bucket width, dropping
+  /// tombstones and growing the bucket array to at least 2x the live
+  /// count so one rotation spans the whole pending horizon.
+  void rebuild(double new_width) {
+    width_ = new_width;
+    inv_width_ = 1.0 / width_;
+    std::vector<Entry> alive;
+    alive.reserve(live_);
+    for (auto& b : buckets_) {
+      for (const Entry& e : b) {
+        if (slab_[e.idx].dead) {
+          free_.push_back(e.idx);
+        } else {
+          alive.push_back(e);
+        }
+      }
+      b.clear();
+    }
+    std::size_t want = buckets_.size();
+    while (want < alive.size() * 2) want <<= 1;
+    if (want > buckets_.size()) buckets_.resize(want);
+    std::uint64_t min_ord = ~std::uint64_t{0};
+    for (Entry e : alive) {
+      e.ord = static_cast<std::uint64_t>(e.time * inv_width_);
+      if (e.ord < min_ord) min_ord = e.ord;
+      buckets_[e.ord & (buckets_.size() - 1)].push_back(e);
+    }
+    stored_ = alive.size();
+    cur_ord_ = alive.empty() ? 0 : min_ord;
+    reset_occupancy();
+    have_peek_ = false;
+    have_runner_ = false;
+  }
+
+  double width_;
+  double inv_width_;
+  std::vector<Slot> slab_;
+  std::vector<std::uint32_t> free_;
+  std::vector<std::vector<Entry>> buckets_;
+  std::vector<std::uint64_t> occ_;  ///< one bit per bucket: nonempty
+  std::uint64_t cur_ord_ = 0;
+  std::size_t live_ = 0;    ///< events not tombstoned
+  std::size_t stored_ = 0;  ///< bucket entries incl. tombstones
+
+  std::uint64_t pops_ = 0;           ///< pops since the last retune check
+  std::uint64_t retune_pops_ = 256;  ///< pops until the next check
+  std::uint64_t scanned_ = 0;   ///< bucket entries examined in the window
+  std::uint64_t advances_ = 0;  ///< minimum-search bucket jumps in the window
+
+  bool have_peek_ = false;
+  std::size_t peek_bucket_ = 0;
+  std::size_t peek_pos_ = 0;
+  std::uint32_t peek_idx_ = 0;
+  // Second-smallest live event, maintained alongside the peek cache so the
+  // common pop / cancel-of-minimum promotes in O(1) instead of re-scanning.
+  // Invariant: have_runner_ implies have_peek_, the runner is live, and
+  // (runner time, seq) <= every live event except the cached minimum.
+  bool have_runner_ = false;
+  std::size_t runner_bucket_ = 0;
+  std::size_t runner_pos_ = 0;
+  std::uint32_t runner_idx_ = 0;
+  SimEvent peeked_{};
+};
+
+}  // namespace dhtrng::sim

@@ -1,0 +1,69 @@
+#include "sim/flat_netlist.h"
+
+namespace dhtrng::sim {
+
+FlatNetlist FlatNetlist::build(const Circuit& circuit) {
+  FlatNetlist f;
+  f.net_count = circuit.net_count();
+  const auto& gates = circuit.gates();
+  const auto& dffs = circuit.dffs();
+
+  f.gate_kind.reserve(gates.size());
+  f.gate_delay_ps.reserve(gates.size());
+  f.gate_output.reserve(gates.size());
+  f.gate_in_off.reserve(gates.size() + 1);
+  f.gate_in_off.push_back(0);
+  for (const Gate& g : gates) {
+    f.gate_kind.push_back(g.kind);
+    f.gate_delay_ps.push_back(g.delay_ps);
+    f.gate_output.push_back(g.output);
+    for (NetId in : g.inputs) f.gate_in.push_back(in);
+    f.gate_in_off.push_back(static_cast<std::uint32_t>(f.gate_in.size()));
+    if (g.inputs.size() > f.max_arity) f.max_arity = g.inputs.size();
+  }
+
+  // Counting-sort CSR construction; preserves the (gate, input-position)
+  // order of the reference scheduler's vector-of-vectors, duplicates and
+  // all, because the noise draw order depends on it.
+  f.fanout_off.assign(f.net_count + 1, 0);
+  for (const Gate& g : gates) {
+    for (NetId in : g.inputs) ++f.fanout_off[in + 1];
+  }
+  for (std::size_t n = 0; n < f.net_count; ++n) {
+    f.fanout_off[n + 1] += f.fanout_off[n];
+  }
+  f.fanout.resize(f.gate_in.size());
+  {
+    std::vector<std::uint32_t> cursor(f.fanout_off.begin(),
+                                      f.fanout_off.end() - 1);
+    for (std::size_t g = 0; g < gates.size(); ++g) {
+      for (NetId in : gates[g].inputs) {
+        f.fanout[cursor[in]++] = static_cast<std::uint32_t>(g);
+      }
+    }
+  }
+
+  f.dff_off.assign(f.net_count + 1, 0);
+  for (const Dff& d : dffs) ++f.dff_off[d.clk + 1];
+  for (std::size_t n = 0; n < f.net_count; ++n) {
+    f.dff_off[n + 1] += f.dff_off[n];
+  }
+  f.dff_by_clk.resize(dffs.size());
+  {
+    std::vector<std::uint32_t> cursor(f.dff_off.begin(), f.dff_off.end() - 1);
+    for (std::size_t d = 0; d < dffs.size(); ++d) {
+      f.dff_by_clk[cursor[dffs[d].clk]++] = static_cast<std::uint32_t>(d);
+    }
+  }
+
+  f.clock_index.assign(f.net_count, -1);
+  const auto& clocks = circuit.clocks();
+  for (std::size_t c = 0; c < clocks.size(); ++c) {
+    if (f.clock_index[clocks[c].net] < 0) {
+      f.clock_index[clocks[c].net] = static_cast<std::int32_t>(c);
+    }
+  }
+  return f;
+}
+
+}  // namespace dhtrng::sim

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+#include <cstdio>
 
 #include "support/special_functions.h"
 
@@ -11,19 +11,65 @@ namespace dhtrng::sim {
 namespace {
 constexpr double kMinDelayPs = 0.1;
 constexpr double kReferenceDelayPs = 100.0;
+
+/// Calendar bucket width: the median scheduled delay puts the typical
+/// event one bucket ahead of now, so most pops scan a single short
+/// bucket.  Clock-only circuits fall back to the half-period; the queue's
+/// rotation fallback covers sparse schedules either way.
+double pick_bucket_width(const Circuit& circuit, const SimConfig& config) {
+  std::vector<double> delays;
+  delays.reserve(circuit.gates().size());
+  for (const Gate& g : circuit.gates()) {
+    delays.push_back(g.delay_ps * config.scaling.delay);
+  }
+  if (delays.empty()) {
+    for (const ClockSpec& c : circuit.clocks()) {
+      delays.push_back(c.period_ps * 0.5);
+    }
+  }
+  if (delays.empty()) return 100.0;
+  const auto mid = delays.begin() + static_cast<std::ptrdiff_t>(delays.size() / 2);
+  std::nth_element(delays.begin(), mid, delays.end());
+  return std::clamp(*mid, 1.0, 5000.0);
+}
+
+std::string budget_message(double sim_time_ps, std::uint64_t events,
+                           std::uint64_t hottest_net_toggles,
+                           const std::string& hottest_net_name) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "Simulator: event budget exhausted at t=%.1f ps after %llu "
+                "events; hottest net '%s' (%llu toggles)",
+                sim_time_ps, static_cast<unsigned long long>(events),
+                hottest_net_name.c_str(),
+                static_cast<unsigned long long>(hottest_net_toggles));
+  return buf;
+}
 }  // namespace
+
+BudgetExhaustedError::BudgetExhaustedError(
+    double sim_time_ps, std::uint64_t events, NetId hottest_net,
+    std::uint64_t hottest_net_toggles, const std::string& hottest_net_name)
+    : std::runtime_error(budget_message(sim_time_ps, events,
+                                        hottest_net_toggles,
+                                        hottest_net_name)),
+      sim_time_ps_(sim_time_ps),
+      events_(events),
+      hottest_net_(hottest_net),
+      hottest_net_toggles_(hottest_net_toggles) {}
 
 Simulator::Simulator(const Circuit& circuit, SimConfig config)
     : circuit_(circuit),
       config_(config),
+      flat_(FlatNetlist::build(circuit)),
       value_(circuit.net_count(), 0),
       projected_(circuit.net_count(), 0),
       last_change_(circuit.net_count(), -1e18),
       last_sched_time_(circuit.net_count(), -1.0),
       last_sched_seq_(circuit.net_count(), 0),
       toggles_(circuit.net_count(), 0),
-      fanout_gates_(circuit.net_count()),
-      clocked_dffs_(circuit.net_count()),
+      cal_(pick_bucket_width(circuit, config)),
+      last_event_idx_(circuit.net_count(), 0),
       shared_noise_(config.gate_jitter.correlated_sigma_ps,
                     config.seed ^ 0xabcdef1234567890ULL),
       meta_rng_(config.seed ^ 0x5bd1e995cafef00dULL),
@@ -40,6 +86,11 @@ Simulator::Simulator(const Circuit& circuit, SimConfig config)
     projected_[n] = value_[n];
   }
 
+  // The shared AR(1) supply trajectory batches the same way as the
+  // per-source draws (its value stream is private to its own RNG; the
+  // cross-source call order only decides who receives each value).
+  shared_noise_.set_batch(config.noise_batch);
+
   support::SplitMix64 seeder(config.seed);
   gate_noise_.reserve(circuit.gates().size());
   for (std::size_t g = 0; g < circuit.gates().size(); ++g) {
@@ -48,16 +99,7 @@ Simulator::Simulator(const Circuit& circuit, SimConfig config)
     p.white_sigma_ps *=
         std::sqrt(circuit.gates()[g].delay_ps / kReferenceDelayPs);
     gate_noise_.emplace_back(p, seeder.next(), &shared_noise_);
-  }
-
-  for (std::size_t g = 0; g < circuit.gates().size(); ++g) {
-    for (NetId in : circuit.gates()[g].inputs) {
-      fanout_gates_[in].push_back(static_cast<std::uint32_t>(g));
-    }
-  }
-  for (std::size_t f = 0; f < circuit.dffs().size(); ++f) {
-    clocked_dffs_[circuit.dffs()[f].clk].push_back(
-        static_cast<std::uint32_t>(f));
+    gate_noise_.back().set_batch(config.noise_batch);
   }
 
   // Kick-start: schedule first clock edges and settle gates whose output
@@ -67,21 +109,19 @@ Simulator::Simulator(const Circuit& circuit, SimConfig config)
     schedule(c.net, true, std::max(c.offset_ps, kMinDelayPs));
   }
   for (std::size_t g = 0; g < circuit.gates().size(); ++g) {
-    const Gate& gate = circuit.gates()[g];
-    std::vector<bool> ins(gate.inputs.size());
-    for (std::size_t i = 0; i < gate.inputs.size(); ++i) {
-      ins[i] = value_[gate.inputs[i]] != 0;
-    }
-    const bool out = evaluate_gate(gate.kind, ins);
-    if (out != (value_[gate.output] != 0)) {
-      schedule(gate.output, out, gate_delay_with_jitter(g));
+    const std::uint32_t lo = flat_.gate_in_off[g];
+    const bool out =
+        evaluate_gate_flat(flat_.gate_kind[g], value_.data(),
+                           flat_.gate_in.data() + lo,
+                           flat_.gate_in_off[g + 1] - lo);
+    if (out != (value_[flat_.gate_output[g]] != 0)) {
+      schedule(flat_.gate_output[g], out, gate_delay_with_jitter(g));
     }
   }
 }
 
 double Simulator::gate_delay_with_jitter(std::size_t gate_index) {
-  const Gate& gate = circuit_.gates()[gate_index];
-  const double nominal = gate.delay_ps * config_.scaling.delay;
+  const double nominal = flat_.gate_delay_ps[gate_index] * config_.scaling.delay;
   const double jitter =
       gate_noise_[gate_index].next_edge_jitter(config_.scaling);
   return std::max(nominal + jitter, kMinDelayPs);
@@ -99,7 +139,11 @@ void Simulator::schedule(NetId net, bool value, double delay_from_now) {
       t - last_sched_time_[net] < config_.min_pulse_ps) {
     // Runt pulse: the pending transition would be undone before it could
     // propagate a full pulse width; swallow both (inertial delay).
-    dead_events_.push_back(last_sched_seq_[net]);
+    if (config_.scheduler == Scheduler::Calendar) {
+      cal_.cancel(last_event_idx_[net]);
+    } else {
+      dead_events_.push_back(last_sched_seq_[net]);
+    }
     projected_[net] = value_[net];
     last_sched_time_[net] = now_;
     ++runts_filtered_;
@@ -110,10 +154,33 @@ void Simulator::schedule(NetId net, bool value, double delay_from_now) {
   projected_[net] = value ? 1 : 0;
   last_sched_time_[net] = t;
   last_sched_seq_[net] = ++seq_;
-  queue_.push(Event{t, seq_, net, value});
+  if (config_.scheduler == Scheduler::Calendar) {
+    last_event_idx_[net] = cal_.push(t, seq_, net, value);
+  } else {
+    queue_.push(Event{t, seq_, net, value});
+  }
 }
 
 void Simulator::run_until(double t_ps) {
+  if (config_.scheduler == Scheduler::Calendar) {
+    run_until_calendar(t_ps);
+  } else {
+    run_until_reference(t_ps);
+  }
+  now_ = std::max(now_, t_ps);
+}
+
+void Simulator::run_until_calendar(double t_ps) {
+  SimEvent ev;
+  while (cal_.pop_if_due(t_ps, ev)) {
+    if (++events_processed_ > config_.max_events) throw_budget_exhausted();
+    now_ = ev.time;
+    if (trace_applied_) applied_events_.push_back(ev);
+    apply_net_change(ev.net, ev.value);
+  }
+}
+
+void Simulator::run_until_reference(double t_ps) {
   while (!queue_.empty() && queue_.top().time <= t_ps) {
     const Event ev = queue_.top();
     queue_.pop();
@@ -125,13 +192,24 @@ void Simulator::run_until(double t_ps) {
         continue;
       }
     }
-    if (++events_processed_ > config_.max_events) {
-      throw std::runtime_error("Simulator: event budget exhausted");
-    }
+    if (++events_processed_ > config_.max_events) throw_budget_exhausted();
     now_ = ev.time;
+    if (trace_applied_) {
+      applied_events_.push_back(SimEvent{ev.time, ev.seq, ev.net, ev.value});
+    }
     apply_net_change(ev.net, ev.value);
   }
-  now_ = std::max(now_, t_ps);
+}
+
+void Simulator::throw_budget_exhausted() {
+  NetId hottest = 0;
+  for (NetId n = 1; n < static_cast<NetId>(toggles_.size()); ++n) {
+    if (toggles_[n] > toggles_[hottest]) hottest = n;
+  }
+  const std::uint64_t hot_toggles = toggles_.empty() ? 0 : toggles_[hottest];
+  throw BudgetExhaustedError(now_, events_processed_, hottest, hot_toggles,
+                             toggles_.empty() ? std::string("<none>")
+                                              : circuit_.net_name(hottest));
 }
 
 void Simulator::apply_net_change(NetId net, bool value) {
@@ -142,18 +220,29 @@ void Simulator::apply_net_change(NetId net, bool value) {
   if (value && edge_recorded_[net]) edge_times_[net].push_back(now_);
 
   // Clock source nets regenerate their own next edge.
-  for (const ClockSpec& c : circuit_.clocks()) {
-    if (c.net == net) {
+  if (config_.scheduler == Scheduler::Calendar) {
+    const std::int32_t ci = flat_.clock_index[net];
+    if (ci >= 0) {
+      const ClockSpec& c = circuit_.clocks()[static_cast<std::size_t>(ci)];
       const double high = c.period_ps * c.duty;
-      const double next = value ? high : c.period_ps - high;
-      schedule(net, !value, next);
-      break;
+      schedule(net, !value, value ? high : c.period_ps - high);
+    }
+  } else {
+    // Reference oracle keeps the historical linear clock scan.
+    for (const ClockSpec& c : circuit_.clocks()) {
+      if (c.net == net) {
+        const double high = c.period_ps * c.duty;
+        schedule(net, !value, value ? high : c.period_ps - high);
+        break;
+      }
     }
   }
 
   // Rising clock edge: sample every flip-flop on this clock.
   if (value) {
-    for (std::uint32_t f : clocked_dffs_[net]) {
+    for (std::uint32_t d = flat_.dff_off[net]; d < flat_.dff_off[net + 1];
+         ++d) {
+      const std::uint32_t f = flat_.dff_by_clk[d];
       const Dff& ff = circuit_.dffs()[f];
       const bool d_now = value_[ff.d] != 0;
       const double delta = now_ - last_change_[ff.d];
@@ -178,14 +267,33 @@ void Simulator::apply_net_change(NetId net, bool value) {
     }
   }
 
-  for (std::uint32_t g : fanout_gates_[net]) {
-    const Gate& gate = circuit_.gates()[g];
-    std::vector<bool> ins(gate.inputs.size());
-    for (std::size_t i = 0; i < gate.inputs.size(); ++i) {
-      ins[i] = value_[gate.inputs[i]] != 0;
+  if (config_.scheduler == Scheduler::Calendar) {
+    // Hot path: CSR fanout, allocation-free gate evaluation.
+    const std::uint8_t* values = value_.data();
+    const NetId* ins = flat_.gate_in.data();
+    for (std::uint32_t o = flat_.fanout_off[net]; o < flat_.fanout_off[net + 1];
+         ++o) {
+      const std::uint32_t g = flat_.fanout[o];
+      const std::uint32_t lo = flat_.gate_in_off[g];
+      const bool out = evaluate_gate_flat(flat_.gate_kind[g], values,
+                                          ins + lo,
+                                          flat_.gate_in_off[g + 1] - lo);
+      schedule(flat_.gate_output[g], out, gate_delay_with_jitter(g));
     }
-    schedule(gate.output, evaluate_gate(gate.kind, ins),
-             gate_delay_with_jitter(g));
+  } else {
+    // Reference oracle: the historical per-event-allocating evaluation,
+    // retained unchanged as the baseline the microbench measures against.
+    for (std::uint32_t o = flat_.fanout_off[net]; o < flat_.fanout_off[net + 1];
+         ++o) {
+      const std::uint32_t g = flat_.fanout[o];
+      const Gate& gate = circuit_.gates()[g];
+      std::vector<bool> ins(gate.inputs.size());
+      for (std::size_t i = 0; i < gate.inputs.size(); ++i) {
+        ins[i] = value_[gate.inputs[i]] != 0;
+      }
+      schedule(gate.output, evaluate_gate(gate.kind, ins),
+               gate_delay_with_jitter(g));
+    }
   }
 }
 

@@ -7,22 +7,40 @@
 // same mechanisms the paper exploits, only with pseudo-random noise driving
 // them (see DESIGN.md, substitution table).
 //
-// Delays are in picoseconds; the schedule is a strict priority queue with a
-// deterministic tie-break, so a given (circuit, config, seed) triple always
-// reproduces the same waveforms.
+// Delays are in picoseconds; the schedule is a strict total order on
+// (time, seq) — nondecreasing time, insertion order on ties — so a given
+// (circuit, config, seed) triple always reproduces the same waveforms.
+//
+// Two interchangeable schedulers implement that order:
+//
+//  * Scheduler::Calendar (default) — an indexed calendar/bucket queue over
+//    a slab allocator (event_queue.h), driving gate evaluation through the
+//    contiguous CSR netlist view built once at elaboration
+//    (flat_netlist.h) and per-gate noise sources sampled in blocks.  This
+//    is the production engine.
+//  * Scheduler::ReferenceHeap — the original binary-heap scheduler with
+//    per-event allocation, kept as a slow oracle.  Both schedulers are
+//    waveform-identical event for event; tests/sim/test_differential_fuzz
+//    and the golden digests in tests/sim/test_golden_waveforms enforce it.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <queue>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "noise/jitter.h"
 #include "noise/pvt.h"
 #include "sim/circuit.h"
+#include "sim/event_queue.h"
+#include "sim/flat_netlist.h"
 #include "support/rng.h"
 
 namespace dhtrng::sim {
+
+enum class Scheduler { Calendar, ReferenceHeap };
 
 struct SimConfig {
   std::uint64_t seed = 1;
@@ -35,6 +53,33 @@ struct SimConfig {
   double min_pulse_ps = 5.0;
   /// Hard stop against runaway zero-delay loops.
   std::uint64_t max_events = 500'000'000;
+  /// Event engine selection; see the header comment.
+  Scheduler scheduler = Scheduler::Calendar;
+  /// Block size for the per-gate white/flicker noise draws (<= 1 draws per
+  /// event).  Any value yields bit-identical waveforms.
+  std::size_t noise_batch = 64;
+};
+
+/// Structured runaway-guard error: thrown when the event count exceeds
+/// SimConfig::max_events.  Carries enough context to diagnose the loop —
+/// how far simulated time got, how many events were processed, and which
+/// net toggled most (in a zero-delay loop, the culprit).
+class BudgetExhaustedError : public std::runtime_error {
+ public:
+  BudgetExhaustedError(double sim_time_ps, std::uint64_t events,
+                       NetId hottest_net, std::uint64_t hottest_net_toggles,
+                       const std::string& hottest_net_name);
+
+  double sim_time_ps() const { return sim_time_ps_; }
+  std::uint64_t events() const { return events_; }
+  NetId hottest_net() const { return hottest_net_; }
+  std::uint64_t hottest_net_toggles() const { return hottest_net_toggles_; }
+
+ private:
+  double sim_time_ps_;
+  std::uint64_t events_;
+  NetId hottest_net_;
+  std::uint64_t hottest_net_toggles_;
 };
 
 class Simulator {
@@ -59,6 +104,13 @@ class Simulator {
   void record_edges(NetId net);
   const std::vector<double>& edge_times(NetId net) const;
 
+  /// Start recording every applied event as (time, seq, net, value) — the
+  /// observable the differential fuzzer compares across schedulers.
+  void record_applied_events() { trace_applied_ = true; }
+  const std::vector<SimEvent>& applied_events() const {
+    return applied_events_;
+  }
+
   std::uint64_t toggle_count(NetId id) const { return toggles_[id]; }
   std::uint64_t total_toggles() const;
   std::uint64_t events_processed() const { return events_processed_; }
@@ -71,6 +123,12 @@ class Simulator {
   /// Pulses swallowed by the inertial (min_pulse) filter — a glitch-rate
   /// diagnostic for netlists with reconvergent paths.
   std::uint64_t runts_filtered() const { return runts_filtered_; }
+
+  /// Calendar-queue introspection (diagnostics / tests).
+  double queue_width_ps() const { return cal_.bucket_width_ps(); }
+  std::size_t queue_buckets() const { return cal_.bucket_count(); }
+  std::size_t queue_live() const { return cal_.live(); }
+  std::size_t queue_stored() const { return cal_.stored(); }
 
  private:
   struct Event {
@@ -87,9 +145,13 @@ class Simulator {
   void schedule(NetId net, bool value, double delay_from_now);
   void apply_net_change(NetId net, bool value);
   double gate_delay_with_jitter(std::size_t gate_index);
+  void run_until_calendar(double t_ps);
+  void run_until_reference(double t_ps);
+  [[noreturn]] void throw_budget_exhausted();
 
   const Circuit& circuit_;
   SimConfig config_;
+  FlatNetlist flat_;  ///< contiguous netlist view, built once at elaboration
   double now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t events_processed_ = 0;
@@ -103,11 +165,14 @@ class Simulator {
   std::vector<std::uint64_t> last_sched_seq_;
   std::vector<std::uint64_t> toggles_;
 
-  std::vector<std::vector<std::uint32_t>> fanout_gates_;  // net -> gate idx
-  std::vector<std::vector<std::uint32_t>> clocked_dffs_;  // net -> dff idx
+  // Calendar engine: slab-backed bucket queue + per-net handle of the
+  // latest scheduled event (the only one the runt filter may cancel).
+  CalendarQueue cal_;
+  std::vector<std::uint32_t> last_event_idx_;
 
+  // Reference engine: the historical binary heap and cancelled-seq list.
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  std::vector<std::uint64_t> dead_events_;  // cancelled seq numbers (sorted-ish)
+  std::vector<std::uint64_t> dead_events_;
 
   noise::SharedSupplyNoise shared_noise_;
   std::vector<noise::EdgeJitterSource> gate_noise_;  // one per gate
@@ -119,6 +184,9 @@ class Simulator {
 
   std::vector<std::uint8_t> edge_recorded_;
   std::vector<std::vector<double>> edge_times_;
+
+  bool trace_applied_ = false;
+  std::vector<SimEvent> applied_events_;
 };
 
 }  // namespace dhtrng::sim

@@ -19,6 +19,14 @@ double Xoshiro256::gaussian() noexcept {
   return u * factor;
 }
 
+void Xoshiro256::gaussian_fill(double* out, std::size_t n) noexcept {
+  // Calls gaussian() in a loop *inside this translation unit*, so the
+  // compiler inlines the polar method here while the per-call entry point
+  // keeps its historical out-of-line cost.  The value stream and the
+  // cached-pair state are exactly those of n successive gaussian() calls.
+  for (std::size_t i = 0; i < n; ++i) out[i] = gaussian();
+}
+
 double Xoshiro256::exponential(double mean) noexcept {
   // 1 - uniform() is in (0, 1], so the log is finite.
   return -mean * std::log(1.0 - uniform());

@@ -75,6 +75,12 @@ class Xoshiro256 {
   /// Standard normal via Marsaglia polar method (cached pair).
   double gaussian() noexcept;
 
+  /// Fill `out[0..n)` with the next `n` values of the gaussian() stream —
+  /// bit-identical to n successive gaussian() calls (including the cached
+  /// pair state), but one call per block so the event engine's batched
+  /// noise path amortizes the call overhead.
+  void gaussian_fill(double* out, std::size_t n) noexcept;
+
   /// Normal with given mean / standard deviation.
   double gaussian(double mean, double sigma) noexcept {
     return mean + sigma * gaussian();

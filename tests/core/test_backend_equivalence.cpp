@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
 #include "core/dhtrng.h"
 #include "stats/correlation.h"
@@ -87,6 +88,73 @@ TEST(BackendEquivalence, FastBackendHasNoSimulator) {
   DhTrng t{{.seed = 33}};
   EXPECT_EQ(t.simulator(), nullptr);
 }
+
+// ---------------------------------------------------------------------------
+// Figure 9 PVT sweep: the equivalence must hold at the corners of the
+// paper's measurement campaign (−20/80 degC x 0.8/1.2 V), on both device
+// models, not just at the nominal corner where the models were tuned.
+
+struct PvtCase {
+  double temperature_c;
+  double voltage_v;
+  fpga::DeviceModel (*device)();
+  const char* label;
+};
+
+class BackendEquivalencePvt : public ::testing::TestWithParam<PvtCase> {};
+
+TEST_P(BackendEquivalencePvt, BothBackendsStayBalancedAtCorner) {
+  const PvtCase& pc = GetParam();
+  DhTrngConfig cfg;
+  cfg.device = pc.device();
+  cfg.pvt = {pc.temperature_c, pc.voltage_v};
+  cfg.seed = 77;
+
+  cfg.backend = Backend::Fast;
+  DhTrng fast(cfg);
+  const auto fast_bits = fast.generate(20000);
+
+  cfg.backend = Backend::GateLevel;
+  DhTrng gate(cfg);
+  const auto gate_bits = gate.generate(10000);
+
+  // Min-entropy dips at the corners (more correlated noise), but the
+  // output must stay usable on both backends — Figure 9 reports > 0.99
+  // min-entropy everywhere, which a large bias would contradict.
+  EXPECT_LT(stats::bias_percent(fast_bits), 3.0) << pc.label;
+  EXPECT_LT(stats::bias_percent(gate_bits), 4.0) << pc.label;
+  // Lag-1 serial correlation stays small for both.
+  EXPECT_LT(std::abs(stats::autocorrelation(fast_bits, 2)[1]), 0.06)
+      << pc.label;
+  EXPECT_LT(std::abs(stats::autocorrelation(gate_bits, 2)[1]), 0.08)
+      << pc.label;
+}
+
+TEST_P(BackendEquivalencePvt, GateLevelDeterministicAtCorner) {
+  const PvtCase& pc = GetParam();
+  DhTrngConfig cfg;
+  cfg.device = pc.device();
+  cfg.pvt = {pc.temperature_c, pc.voltage_v};
+  cfg.seed = 909;
+  cfg.backend = Backend::GateLevel;
+  DhTrng a(cfg), b(cfg);
+  EXPECT_EQ(a.generate(2000), b.generate(2000)) << pc.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Figure9Corners, BackendEquivalencePvt,
+    ::testing::Values(
+        PvtCase{-20.0, 0.8, &fpga::DeviceModel::artix7, "artix7_cold_low"},
+        PvtCase{-20.0, 1.2, &fpga::DeviceModel::artix7, "artix7_cold_high"},
+        PvtCase{80.0, 0.8, &fpga::DeviceModel::artix7, "artix7_hot_low"},
+        PvtCase{80.0, 1.2, &fpga::DeviceModel::artix7, "artix7_hot_high"},
+        PvtCase{-20.0, 0.8, &fpga::DeviceModel::virtex6, "virtex6_cold_low"},
+        PvtCase{-20.0, 1.2, &fpga::DeviceModel::virtex6, "virtex6_cold_high"},
+        PvtCase{80.0, 0.8, &fpga::DeviceModel::virtex6, "virtex6_hot_low"},
+        PvtCase{80.0, 1.2, &fpga::DeviceModel::virtex6, "virtex6_hot_high"}),
+    [](const ::testing::TestParamInfo<PvtCase>& param_info) {
+      return std::string(param_info.param.label);
+    });
 
 }  // namespace
 }  // namespace dhtrng::core

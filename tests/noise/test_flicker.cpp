@@ -55,5 +55,24 @@ TEST(FlickerNoise, OctaveValidation) {
   EXPECT_NO_THROW(FlickerNoise(1.0, 1, 1));
 }
 
+TEST(FlickerNoise, FillMatchesSequentialNext) {
+  // fill() batches the pink-noise lattice for the simulator's hot path; it
+  // must replay the row-refresh schedule and the summation order exactly,
+  // for any mix of block sizes (including sizes that straddle the
+  // power-of-two refresh boundaries of the high octaves).
+  FlickerNoise a(0.7, 12, 99), b(0.7, 12, 99);
+  std::vector<double> block(3 + 64 + 1 + 200 + 13);
+  std::size_t at = 0;
+  for (std::size_t n : {std::size_t{3}, std::size_t{64}, std::size_t{1},
+                        std::size_t{200}, std::size_t{13}}) {
+    a.fill(block.data() + at, n);
+    at += n;
+  }
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    ASSERT_EQ(block[i], b.next()) << "sample " << i;
+  }
+  EXPECT_EQ(a.next(), b.next());  // streams still aligned afterwards
+}
+
 }  // namespace
 }  // namespace dhtrng::noise

@@ -84,5 +84,87 @@ TEST(EdgeJitterSource, ParamsAccessor) {
   EXPECT_DOUBLE_EQ(src.params().flicker_sigma_ps, 0.25);
 }
 
+// ---------------------------------------------------------------------------
+// Batched draws must be bit-identical to per-call draws: the event engine
+// relies on set_batch() being a pure performance knob (the golden waveform
+// digests would catch a drift, but these tests localize it).
+
+TEST(EdgeJitterSource, BatchedStreamIsBitIdentical) {
+  const JitterParams p{1.2, 0.5, 0.0};
+  for (std::size_t batch : {std::size_t{2}, std::size_t{3}, std::size_t{64},
+                            std::size_t{1000}}) {
+    EdgeJitterSource per_call(p, 77);
+    EdgeJitterSource batched(p, 77);
+    batched.set_batch(batch);
+    const PvtScaling scale{1.1, 0.9, 1.3};
+    for (int i = 0; i < 2500; ++i) {
+      ASSERT_EQ(per_call.next_edge_jitter(scale),
+                batched.next_edge_jitter(scale))
+          << "batch " << batch << " draw " << i;
+    }
+  }
+}
+
+TEST(EdgeJitterSource, BatchedStreamWithSharedSupplyIsBitIdentical) {
+  const JitterParams p{1.2, 0.5, 0.4};
+  SharedSupplyNoise shared_a(p.correlated_sigma_ps, 5);
+  SharedSupplyNoise shared_b(p.correlated_sigma_ps, 5);
+  shared_b.set_batch(64);
+  EdgeJitterSource a(p, 77, &shared_a);
+  EdgeJitterSource b(p, 77, &shared_b);
+  b.set_batch(64);
+  for (int i = 0; i < 2500; ++i) {
+    ASSERT_EQ(a.next_edge_jitter(), b.next_edge_jitter()) << "draw " << i;
+  }
+}
+
+TEST(EdgeJitterSource, PvtScaleChangeMidBlockAppliesImmediately) {
+  // Blocks buffer *raw* components; scaling happens at consumption, so a
+  // corner change between two draws of the same block must take effect on
+  // the very next draw.
+  const JitterParams p{1.0, 0.5, 0.0};
+  EdgeJitterSource per_call(p, 31);
+  EdgeJitterSource batched(p, 31);
+  batched.set_batch(64);
+  const PvtScaling nominal{1.0, 1.0, 1.0};
+  const PvtScaling corner{1.4, 2.0, 1.7};
+  for (int i = 0; i < 300; ++i) {
+    const PvtScaling& s = i % 7 < 3 ? nominal : corner;
+    ASSERT_EQ(per_call.next_edge_jitter(s), batched.next_edge_jitter(s))
+        << "draw " << i;
+  }
+}
+
+TEST(EdgeJitterSource, BatchDowngradeDrainsBufferedDraws) {
+  // set_batch(1) after a partial block: buffered values drain first, then
+  // per-call draws resume — the stream never skips or repeats.
+  const JitterParams p{1.0, 0.3, 0.0};
+  EdgeJitterSource per_call(p, 13);
+  EdgeJitterSource toggled(p, 13);
+  toggled.set_batch(16);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(per_call.next_edge_jitter(), toggled.next_edge_jitter());
+  }
+  toggled.set_batch(1);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_EQ(per_call.next_edge_jitter(), toggled.next_edge_jitter())
+        << "draw " << i << " after downgrade";
+  }
+}
+
+TEST(SharedSupplyNoise, BatchedTrajectoryIsBitIdentical) {
+  for (std::size_t batch : {std::size_t{2}, std::size_t{64},
+                            std::size_t{509}}) {
+    SharedSupplyNoise per_call(2.0, 123);
+    SharedSupplyNoise batched(2.0, 123);
+    batched.set_batch(batch);
+    for (int i = 0; i < 2000; ++i) {
+      ASSERT_EQ(per_call.step(), batched.step())
+          << "batch " << batch << " step " << i;
+      ASSERT_EQ(per_call.current(), batched.current());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dhtrng::noise

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <tuple>
 
 #include "sim/simulator.h"
 
@@ -166,6 +168,57 @@ TEST(SimulatorEdge, PerNetOrderingMonotonic) {
   for (std::size_t i = 1; i < edges.size(); ++i) {
     ASSERT_LT(edges[i - 1], edges[i]);
   }
+}
+
+TEST(SimulatorEdge, BudgetErrorCarriesDiagnostics) {
+  // A (near-)zero-delay inverter loop, the classic runaway netlist: the
+  // 0.01 ps nominal delay clamps to the 0.1 ps engine floor, so the loop
+  // fires ~10 events per simulated ps and never converges.
+  // The guard must throw the structured error naming the culprit.
+  Circuit c;
+  const NetId loop = c.add_net("hot_loop");
+  c.add_gate(GateKind::Inv, {loop}, loop, 0.01);
+  const NetId idle = c.add_net("idle");
+  (void)idle;
+  SimConfig cfg = quiet();
+  cfg.max_events = 5000;
+  Simulator sim(c, cfg);
+  try {
+    sim.run_until(1e9);
+    FAIL() << "runaway loop did not trip the event budget";
+  } catch (const BudgetExhaustedError& e) {
+    EXPECT_EQ(e.events(), 5001u);  // the first event past the budget
+    EXPECT_EQ(e.hottest_net(), loop);
+    EXPECT_GT(e.hottest_net_toggles(), 4000u);
+    // ~0.1 ps per loop iteration: simulated time stalls near zero.
+    EXPECT_GT(e.sim_time_ps(), 0.0);
+    EXPECT_LT(e.sim_time_ps(), 10000.0);
+    // The message is human-readable and names the hottest net.
+    EXPECT_NE(std::string(e.what()).find("hot_loop"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("budget"), std::string::npos);
+  }
+}
+
+TEST(SimulatorEdge, BudgetErrorIdenticalAcrossSchedulers) {
+  // Both engines must trip the guard at the same event with the same
+  // diagnostics — the budget is part of the deterministic contract.
+  Circuit c;
+  const NetId loop = c.add_net("loop");
+  c.add_gate(GateKind::Inv, {loop}, loop, 0.01);
+  const auto probe = [&](Scheduler s) {
+    SimConfig cfg = quiet();
+    cfg.scheduler = s;
+    cfg.max_events = 2000;
+    Simulator sim(c, cfg);
+    try {
+      sim.run_until(1e9);
+    } catch (const BudgetExhaustedError& e) {
+      return std::make_tuple(e.events(), e.hottest_net(),
+                             e.hottest_net_toggles(), e.sim_time_ps());
+    }
+    return std::make_tuple(std::uint64_t{0}, NetId{0}, std::uint64_t{0}, 0.0);
+  };
+  EXPECT_EQ(probe(Scheduler::Calendar), probe(Scheduler::ReferenceHeap));
 }
 
 }  // namespace

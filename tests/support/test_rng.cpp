@@ -5,6 +5,7 @@
 #include <array>
 #include <cmath>
 #include <set>
+#include <vector>
 
 namespace dhtrng::support {
 namespace {
@@ -114,6 +115,23 @@ TEST(Xoshiro256, BelowZeroAndOne) {
   Xoshiro256 rng(29);
   EXPECT_EQ(rng.below(0), 0u);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro256, GaussianFillMatchesSequentialDraws) {
+  // gaussian_fill is the block API behind the simulator's batched noise;
+  // it must consume the stream exactly like n successive gaussian() calls,
+  // including across the Box-Muller cached-pair boundary (odd sizes).
+  Xoshiro256 a(31), b(31);
+  std::vector<double> block(7 + 64 + 1 + 33);
+  a.gaussian_fill(block.data(), 7);
+  a.gaussian_fill(block.data() + 7, 64);
+  a.gaussian_fill(block.data() + 71, 1);
+  a.gaussian_fill(block.data() + 72, 33);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    ASSERT_EQ(block[i], b.gaussian()) << "draw " << i;
+  }
+  // And the stream positions agree afterwards.
+  EXPECT_EQ(a.gaussian(), b.gaussian());
 }
 
 }  // namespace
