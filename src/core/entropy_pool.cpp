@@ -59,16 +59,30 @@ void EntropyPool::producer_loop(std::size_t index) {
 
   while (!stopping_.load(std::memory_order_acquire)) {
     // Generate and health-test one block.  The monitor is sticky once
-    // alarmed, so `healthy` reflects the whole block.
+    // alarmed, so `healthy` reflects the whole block.  Bits are batched
+    // into 64-sample words (LSB-first emission order) so the RCT/APT run
+    // their word-parallel feed path; the alarm decisions are identical to
+    // per-bit feeding.
     bool healthy = true;
+    std::uint64_t health_acc = 0;
+    std::size_t health_n = 0;
     for (std::size_t byte = 0; byte < block.size(); ++byte) {
       std::uint8_t v = 0;
       for (int b = 0; b < 8; ++b) {
         const bool bit = st.source->next_bit();
         v = static_cast<std::uint8_t>((v << 1) | (bit ? 1u : 0u));
-        healthy = st.monitor.feed(bit) && healthy;
+        if (bit) health_acc |= std::uint64_t{1} << health_n;
+        ++health_n;
       }
       block[byte] = v;
+      if (health_n == 64) {
+        healthy = st.monitor.feed_word(health_acc, 64) && healthy;
+        health_acc = 0;
+        health_n = 0;
+      }
+    }
+    if (health_n != 0) {
+      healthy = st.monitor.feed_word(health_acc, health_n) && healthy;
     }
 
     if (!healthy) {

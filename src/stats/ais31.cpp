@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <numbers>
 #include <stdexcept>
 #include <unordered_set>
 #include <vector>
+
+#include "stats/stats_config.h"
+#include "support/wordops.h"
 
 namespace dhtrng::stats::ais31 {
 
@@ -21,6 +25,36 @@ constexpr std::size_t kT6Bits = 100000;
 constexpr std::size_t kT7Bits = 100000;
 constexpr std::size_t kT8Blocks = 2560 + 256000;  // Q + K 8-bit blocks
 
+/// First-order transition counts over the `pairs` adjacent pairs starting
+/// at `begin`, 64 pairs per popcount round.  The integers match the scalar
+/// per-bit loop exactly, so any statistic built from them is unchanged.
+std::array<std::array<std::uint64_t, 2>, 2> transition_counts_wordwise(
+    const BitStream& bits, std::size_t begin, std::size_t pairs) {
+  std::uint64_t t11 = 0, t10 = 0, t01 = 0;
+  for (std::size_t i = 0; i < pairs; i += 64) {
+    const std::uint64_t a = bits.chunk64(begin + i);
+    const std::uint64_t b = bits.chunk64(begin + i + 1);
+    const std::size_t valid = std::min<std::size_t>(64, pairs - i);
+    const std::uint64_t vm =
+        valid == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << valid) - 1;
+    t11 += static_cast<unsigned>(std::popcount(a & b & vm));
+    t10 += static_cast<unsigned>(std::popcount(a & ~b & vm));
+    t01 += static_cast<unsigned>(std::popcount(~a & b & vm));
+  }
+  return {{{pairs - t11 - t10 - t01, t01}, {t10, t11}}};
+}
+
+/// Run-length histogram for T3-style tests: counts[value][min(len,6)-1].
+std::array<std::array<std::size_t, 6>, 2> run_histogram_wordwise(
+    const BitStream& seq, std::size_t len) {
+  std::array<std::array<std::size_t, 6>, 2> counts{};
+  support::wordops::for_each_run(
+      seq, 0, len, [&](bool v, std::size_t run) {
+        ++counts[v ? 1u : 0u][std::min<std::size_t>(run, 6) - 1];
+      });
+  return counts;
+}
+
 }  // namespace
 
 std::size_t required_bits() {
@@ -29,10 +63,17 @@ std::size_t required_bits() {
 }
 
 bool t0_disjointness(const BitStream& bits) {
+  // The 48-bit block value is only a set key: the wordwise LSB-first read
+  // is a bijective remap of the scalar MSB-first value, so two blocks
+  // collide under one convention exactly when they collide under the other.
+  const bool wordwise = active_engine() == Engine::Wordwise;
+  constexpr std::uint64_t kMask48 = (std::uint64_t{1} << kT0BlockBits) - 1;
   std::unordered_set<std::uint64_t> seen;
   seen.reserve(kT0Blocks * 2);
   for (std::size_t b = 0; b < kT0Blocks; ++b) {
-    const std::uint64_t w = bits.word(b * kT0BlockBits, kT0BlockBits);
+    const std::uint64_t w = wordwise
+                                ? (bits.chunk64(b * kT0BlockBits) & kMask48)
+                                : bits.word(b * kT0BlockBits, kT0BlockBits);
     if (!seen.insert(w).second) return false;
   }
   return true;
@@ -44,9 +85,24 @@ bool t1_monobit(const BitStream& seq) {
 }
 
 bool t2_poker(const BitStream& seq) {
+  // The nibble value keys a histogram whose chi-square sums c^2 over all 16
+  // slots; the counts are integers with an integer sum of squares, so the
+  // wordwise LSB-first keying (a slot permutation) leaves `sum` exact.
   std::array<std::size_t, 16> f{};
-  for (std::size_t i = 0; i < kSeqBits / 4; ++i) {
-    ++f[seq.word(4 * i, 4)];
+  constexpr std::size_t kNibbles = kSeqBits / 4;
+  if (active_engine() == Engine::Wordwise) {
+    for (std::size_t i = 0; i < kNibbles; i += 16) {
+      std::uint64_t w = seq.chunk64(4 * i);
+      const std::size_t cnt = std::min<std::size_t>(16, kNibbles - i);
+      for (std::size_t k = 0; k < cnt; ++k) {
+        ++f[w & 15];
+        w >>= 4;
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < kNibbles; ++i) {
+      ++f[seq.word(4 * i, 4)];
+    }
   }
   double sum = 0.0;
   for (std::size_t c : f) {
@@ -63,14 +119,18 @@ bool t3_runs(const BitStream& seq) {
       {{{2267, 2733}, {1079, 1421}, {502, 748}, {223, 402}, {90, 223},
         {90, 223}}};
   std::array<std::array<std::size_t, 6>, 2> counts{};
-  std::size_t run = 1;
-  for (std::size_t i = 1; i <= kSeqBits; ++i) {
-    if (i < kSeqBits && seq[i] == seq[i - 1]) {
-      ++run;
-    } else {
-      const std::size_t bucket = std::min<std::size_t>(run, 6) - 1;
-      ++counts[seq[i - 1] ? 1u : 0u][bucket];
-      run = 1;
+  if (active_engine() == Engine::Wordwise) {
+    counts = run_histogram_wordwise(seq, kSeqBits);
+  } else {
+    std::size_t run = 1;
+    for (std::size_t i = 1; i <= kSeqBits; ++i) {
+      if (i < kSeqBits && seq[i] == seq[i - 1]) {
+        ++run;
+      } else {
+        const std::size_t bucket = std::min<std::size_t>(run, 6) - 1;
+        ++counts[seq[i - 1] ? 1u : 0u][bucket];
+        run = 1;
+      }
     }
   }
   for (const auto& side : counts) {
@@ -84,6 +144,14 @@ bool t3_runs(const BitStream& seq) {
 }
 
 bool t4_long_run(const BitStream& seq) {
+  if (active_engine() == Engine::Wordwise) {
+    // A run of >= 34 exists iff the longest maximal run reaches 34.
+    std::size_t longest = 0;
+    support::wordops::for_each_run(
+        seq, 0, kSeqBits,
+        [&](bool, std::size_t run) { longest = std::max(longest, run); });
+    return longest < 34;
+  }
   std::size_t run = 1;
   for (std::size_t i = 1; i < kSeqBits; ++i) {
     run = seq[i] == seq[i - 1] ? run + 1 : 1;
@@ -120,8 +188,17 @@ bool t6_uniform_distribution(const BitStream& bits, std::string* detail) {
   const double n = static_cast<double>(kT6Bits);
   const double p1 = static_cast<double>(bits.count_ones(0, kT6Bits)) / n;
   std::array<std::array<double, 2>, 2> trans{};
-  for (std::size_t i = 0; i + 1 < kT6Bits; ++i) {
-    trans[bits[i] ? 1u : 0u][bits[i + 1] ? 1u : 0u] += 1.0;
+  if (active_engine() == Engine::Wordwise) {
+    const auto t = transition_counts_wordwise(bits, 0, kT6Bits - 1);
+    for (std::size_t a = 0; a < 2; ++a) {
+      for (std::size_t b = 0; b < 2; ++b) {
+        trans[a][b] = static_cast<double>(t[a][b]);
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i + 1 < kT6Bits; ++i) {
+      trans[bits[i] ? 1u : 0u][bits[i + 1] ? 1u : 0u] += 1.0;
+    }
   }
   const double p1_given_0 = trans[0][1] / std::max(trans[0][0] + trans[0][1], 1.0);
   const double p1_given_1 = trans[1][1] / std::max(trans[1][0] + trans[1][1], 1.0);
@@ -142,9 +219,20 @@ bool t7_homogeneity(const BitStream& bits, std::string* detail) {
   // threshold 15.13 corresponds to alpha = 0.0001 at 1 df per transition).
   const std::size_t half = kT7Bits / 2;
   std::array<std::array<std::array<double, 2>, 2>, 2> trans{};
-  for (std::size_t h = 0; h < 2; ++h) {
-    for (std::size_t i = h * half; i + 1 < (h + 1) * half; ++i) {
-      trans[h][bits[i] ? 1u : 0u][bits[i + 1] ? 1u : 0u] += 1.0;
+  if (active_engine() == Engine::Wordwise) {
+    for (std::size_t h = 0; h < 2; ++h) {
+      const auto t = transition_counts_wordwise(bits, h * half, half - 1);
+      for (std::size_t a = 0; a < 2; ++a) {
+        for (std::size_t b = 0; b < 2; ++b) {
+          trans[h][a][b] = static_cast<double>(t[a][b]);
+        }
+      }
+    }
+  } else {
+    for (std::size_t h = 0; h < 2; ++h) {
+      for (std::size_t i = h * half; i + 1 < (h + 1) * half; ++i) {
+        trans[h][bits[i] ? 1u : 0u][bits[i + 1] ? 1u : 0u] += 1.0;
+      }
     }
   }
   double worst = 0.0;
@@ -173,8 +261,15 @@ bool t8_entropy(const BitStream& bits, double* statistic) {
   constexpr std::size_t kL = 8;
   constexpr std::size_t kQ = 2560;
   constexpr std::size_t kK = 256000;
+  // The byte value is only a table key (like Maurer's universal test): the
+  // wordwise LSB-first read permutes `last[]` slots without changing any
+  // distance b + 1 - last[v], so the g-sum's operation sequence is intact.
+  const bool wordwise = active_engine() == Engine::Wordwise;
   std::array<std::size_t, 256> last{};
   const auto block = [&](std::size_t b) {
+    if (wordwise) {
+      return static_cast<std::size_t>(bits.chunk64(b * kL) & 0xff);
+    }
     return static_cast<std::size_t>(bits.word(b * kL, kL));
   };
   for (std::size_t b = 0; b < kQ; ++b) last[block(b)] = b + 1;

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdint>
 #include <stdexcept>
+
+#include "stats/stats_config.h"
+#include "support/wordops.h"
 
 namespace dhtrng::stats::fips140 {
 
@@ -25,9 +29,24 @@ bool monobit(const support::BitStream& sample, double* ones_out) {
 
 bool poker(const support::BitStream& sample, double* chi2_out) {
   require_size(sample);
+  // Histogram keys may use either bit order: the chi-square sums integer
+  // c^2 over all 16 slots, so the wordwise LSB-first nibble (a slot
+  // permutation of the scalar MSB-first one) gives the exact same sum.
   std::array<std::size_t, 16> f{};
-  for (std::size_t i = 0; i < kSampleBits / 4; ++i) {
-    ++f[sample.word(4 * i, 4)];
+  constexpr std::size_t kNibbles = kSampleBits / 4;
+  if (active_engine() == Engine::Wordwise) {
+    for (std::size_t i = 0; i < kNibbles; i += 16) {
+      std::uint64_t w = sample.chunk64(4 * i);
+      const std::size_t cnt = std::min<std::size_t>(16, kNibbles - i);
+      for (std::size_t k = 0; k < cnt; ++k) {
+        ++f[w & 15];
+        w >>= 4;
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < kNibbles; ++i) {
+      ++f[sample.word(4 * i, 4)];
+    }
   }
   double sum = 0.0;
   for (std::size_t c : f) {
@@ -49,13 +68,20 @@ bool runs(const support::BitStream& sample) {
                   {111, 201},
                   {111, 201}}};
   std::array<std::array<std::size_t, 6>, 2> counts{};
-  std::size_t run = 1;
-  for (std::size_t i = 1; i <= kSampleBits; ++i) {
-    if (i < kSampleBits && sample[i] == sample[i - 1]) {
-      ++run;
-    } else {
-      ++counts[sample[i - 1] ? 1u : 0u][std::min<std::size_t>(run, 6) - 1];
-      run = 1;
+  if (active_engine() == Engine::Wordwise) {
+    support::wordops::for_each_run(
+        sample, 0, kSampleBits, [&](bool v, std::size_t run) {
+          ++counts[v ? 1u : 0u][std::min<std::size_t>(run, 6) - 1];
+        });
+  } else {
+    std::size_t run = 1;
+    for (std::size_t i = 1; i <= kSampleBits; ++i) {
+      if (i < kSampleBits && sample[i] == sample[i - 1]) {
+        ++run;
+      } else {
+        ++counts[sample[i - 1] ? 1u : 0u][std::min<std::size_t>(run, 6) - 1];
+        run = 1;
+      }
     }
   }
   for (const auto& side : counts) {
@@ -70,10 +96,17 @@ bool runs(const support::BitStream& sample) {
 
 bool long_run(const support::BitStream& sample, std::size_t* longest_out) {
   require_size(sample);
-  std::size_t longest = 1, run = 1;
-  for (std::size_t i = 1; i < kSampleBits; ++i) {
-    run = sample[i] == sample[i - 1] ? run + 1 : 1;
-    longest = std::max(longest, run);
+  std::size_t longest = 1;
+  if (active_engine() == Engine::Wordwise) {
+    support::wordops::for_each_run(
+        sample, 0, kSampleBits,
+        [&](bool, std::size_t run) { longest = std::max(longest, run); });
+  } else {
+    std::size_t run = 1;
+    for (std::size_t i = 1; i < kSampleBits; ++i) {
+      run = sample[i] == sample[i - 1] ? run + 1 : 1;
+      longest = std::max(longest, run);
+    }
   }
   if (longest_out != nullptr) *longest_out = longest;
   return longest < 26;

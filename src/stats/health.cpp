@@ -1,6 +1,7 @@
 #include "stats/health.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "support/special_functions.h"
@@ -21,6 +22,36 @@ bool RepetitionCountTest::feed(bool bit) {
     primed_ = true;
   }
   return !alarmed_;
+}
+
+bool RepetitionCountTest::feed_word(std::uint64_t bits, std::size_t nbits) {
+  if (alarmed_) return false;
+  std::size_t i = 0;
+  while (i < nbits) {
+    const bool bit = (bits >> i) & 1;
+    // Length of the run of `bit` starting at sample i within this word.
+    const std::uint64_t rest = bits >> i;
+    const std::size_t seg = std::min<std::size_t>(
+        bit ? static_cast<std::size_t>(std::countr_one(rest))
+            : static_cast<std::size_t>(std::countr_zero(rest)),
+        nbits - i);
+    if (primed_ && bit == last_) {
+      run_ += seg;
+    } else {
+      run_ = seg;
+      last_ = bit;
+      primed_ = true;
+    }
+    if (run_ >= cutoff_) {
+      // The scalar path alarms the moment the counter reaches the cutoff
+      // and freezes: run_ never exceeds cutoff_.
+      run_ = cutoff_;
+      alarmed_ = true;
+      return false;
+    }
+    i += seg;
+  }
+  return true;
 }
 
 void RepetitionCountTest::reset() {
@@ -71,6 +102,39 @@ bool AdaptiveProportionTest::feed(bool bit) {
   return !alarmed_;
 }
 
+bool AdaptiveProportionTest::feed_word(std::uint64_t bits, std::size_t nbits) {
+  if (alarmed_) return false;
+  std::size_t i = 0;
+  while (i < nbits) {
+    if (index_ == 0) {  // window restart: scalar step for the reference bit
+      if (!feed((bits >> i) & 1)) {
+        // Degenerate cutoff alarm on the reference sample itself; the
+        // remaining samples would be swallowed by the sticky alarm anyway.
+        return false;
+      }
+      ++i;
+      continue;
+    }
+    const std::size_t span = std::min(nbits - i, window_ - index_);
+    const std::uint64_t mask =
+        span == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << span) - 1;
+    const std::uint64_t seg = (bits >> i) & mask;
+    const std::size_t m = static_cast<std::size_t>(
+        std::popcount(reference_ ? seg : ~seg & mask));
+    if (matches_ + m >= cutoff_) {
+      // The cutoff falls inside this segment: replay it per bit so the
+      // alarm freezes index_/matches_ at exactly the scalar alarm point.
+      for (; i < nbits; ++i) feed((bits >> i) & 1);
+      return !alarmed_;
+    }
+    matches_ += m;
+    index_ += span;
+    if (index_ >= window_) index_ = 0;
+    i += span;
+  }
+  return true;
+}
+
 void AdaptiveProportionTest::reset() {
   index_ = 0;
   matches_ = 0;
@@ -83,6 +147,12 @@ HealthMonitor::HealthMonitor(double min_entropy_per_bit)
 bool HealthMonitor::feed(bool bit) {
   const bool a = rct_.feed(bit);
   const bool b = apt_.feed(bit);
+  return a && b;
+}
+
+bool HealthMonitor::feed_word(std::uint64_t bits, std::size_t nbits) {
+  const bool a = rct_.feed_word(bits, nbits);
+  const bool b = apt_.feed_word(bits, nbits);
   return a && b;
 }
 

@@ -24,6 +24,14 @@ class RepetitionCountTest {
   /// Feed one bit; returns true while healthy, false once alarmed.
   bool feed(bool bit);
 
+  /// Feed `nbits` <= 64 samples at once, bit i of `bits` being the i-th
+  /// sample (LSB-first emission order).  Runs are consumed with trailing
+  /// zero/one counts instead of per-bit branches; the resulting state —
+  /// including the frozen run length at an alarm — is exactly what the
+  /// equivalent sequence of feed() calls leaves behind, and the return
+  /// value is the conjunction of their return values.
+  bool feed_word(std::uint64_t bits, std::size_t nbits);
+
   bool alarmed() const { return alarmed_; }
   std::size_t cutoff() const { return cutoff_; }
   void reset();
@@ -50,6 +58,12 @@ class AdaptiveProportionTest {
 
   bool feed(bool bit);
 
+  /// Batch counterpart of feed(): `nbits` <= 64 samples, LSB-first.  Window
+  /// segments are matched against the reference with masked popcounts; near
+  /// the cutoff it falls back to per-bit feeding so the alarm fires — and
+  /// freezes the state — at exactly the same sample as the scalar path.
+  bool feed_word(std::uint64_t bits, std::size_t nbits);
+
   bool alarmed() const { return alarmed_; }
   std::size_t cutoff() const { return cutoff_; }
   void reset();
@@ -70,6 +84,9 @@ class HealthMonitor {
 
   /// Returns true while both tests are healthy.
   bool feed(bool bit);
+
+  /// Feed `nbits` <= 64 samples (LSB-first) to both tests at once.
+  bool feed_word(std::uint64_t bits, std::size_t nbits);
 
   bool healthy() const { return !rct_.alarmed() && !apt_.alarmed(); }
   const RepetitionCountTest& rct() const { return rct_; }

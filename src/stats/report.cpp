@@ -67,14 +67,27 @@ CharacterizationReport characterize(core::TrngSource& trng,
 
   // --- SP 800-22 quick battery ------------------------------------------------
   if (options.include_sp800_22) {
+    const auto results = sp800_22::run_all(bits);
     std::size_t passed = 0, total = 0;
-    for (const auto& r : sp800_22::run_all(bits)) {
+    double wall_total = 0.0;
+    for (const auto& r : results) {
+      wall_total += r.wall_s;
       if (!r.applicable) continue;
       ++total;
       passed += r.pass() ? 1u : 0u;
     }
     os << "[" << flag(passed + 1 >= total) << "] SP 800-22            "
-       << passed << "/" << total << " tests\n";
+       << passed << "/" << total << " tests in " << wall_total << " s\n";
+    for (const auto& r : results) {
+      os << "       " << r.name;
+      for (std::size_t pad = r.name.size(); pad < 24; ++pad) os << ' ';
+      if (r.applicable) {
+        os << "p " << r.p_value();
+      } else {
+        os << "not applicable";
+      }
+      os << "  (" << r.wall_s * 1e3 << " ms)\n";
+    }
   }
 
   // --- restart behaviour -------------------------------------------------------

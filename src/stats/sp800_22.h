@@ -27,6 +27,7 @@ struct TestResult {
   std::string name;
   std::vector<double> p_values;  ///< one per sub-test
   bool applicable = true;        ///< random-excursions tests may not apply
+  double wall_s = 0.0;           ///< wall time of this test (set by run_all)
 
   /// Representative p-value: the average over sub-tests (the paper's *
   /// convention; identical to the single p-value for simple tests).
@@ -65,12 +66,19 @@ std::vector<TestResult> run_all(const BitStream& bits);
 /// test's template set; 148 templates for length 9).
 std::vector<std::vector<bool>> aperiodic_templates(std::size_t len);
 
+/// Cached variant: enumerated once per length, then served from a
+/// process-wide table (thread-safe).  The returned reference stays valid
+/// for the process lifetime.
+const std::vector<std::vector<bool>>& aperiodic_templates_cached(
+    std::size_t len);
+
 /// Multi-set suite report (paper Table 3 format).
 struct SuiteRow {
   std::string name;
   double p_value = 0.0;      ///< uniformity p-value (averaged over sub-tests)
   std::size_t passed = 0;    ///< sets passing the whole test
   std::size_t total = 0;     ///< applicable sets
+  double wall_s = 0.0;       ///< total wall time of this test across sets
 };
 
 /// `n_threads` parallelizes over the independent sets (the dominant cost

@@ -1,11 +1,20 @@
 // SP 800-22 sections 2.11 and 2.12: Serial and Approximate Entropy.
 // Both count overlapping m-bit patterns on the cyclically extended sequence.
+//
+// The wordwise engine slides an LSB-first window register fed from 64-bit
+// chunks (the scalar engine rebuilds an MSB-first value with a modulo per
+// bit).  The count array is therefore indexed by the bit-reversed pattern
+// value; both psi-squared and phi iterate it in bit-reversed index order so
+// the accumulation visits counts in exactly the scalar sequence, keeping
+// the floating-point results bitwise identical.
 #include <cmath>
 #include <cstdint>
 #include <vector>
 
 #include "stats/sp800_22.h"
+#include "stats/stats_config.h"
 #include "support/special_functions.h"
+#include "support/wordops.h"
 
 namespace dhtrng::stats::sp800_22 {
 
@@ -13,9 +22,10 @@ using support::igamc;
 
 namespace {
 
-/// Counts of all overlapping m-bit patterns over the cyclic sequence.
-std::vector<std::uint32_t> pattern_counts(const BitStream& bits,
-                                          std::size_t m) {
+/// Counts of all overlapping m-bit patterns over the cyclic sequence,
+/// indexed by the MSB-first pattern value.
+std::vector<std::uint32_t> pattern_counts_scalar(const BitStream& bits,
+                                                 std::size_t m) {
   std::vector<std::uint32_t> counts(std::size_t{1} << m, 0);
   if (m == 0 || bits.size() == 0) return counts;
   const std::size_t n = bits.size();
@@ -33,12 +43,53 @@ std::vector<std::uint32_t> pattern_counts(const BitStream& bits,
   return counts;
 }
 
+/// Same multiset of counts, indexed by the LSB-first pattern value:
+/// counts_lsb[bit_reverse(v, m)] == counts_msb[v].
+std::vector<std::uint32_t> pattern_counts_wordwise(const BitStream& bits,
+                                                   std::size_t m) {
+  std::vector<std::uint32_t> counts(std::size_t{1} << m, 0);
+  const std::size_t n = bits.size();
+  if (m == 0 || n == 0) return counts;
+  if (n < m) return pattern_counts_scalar(bits, m);  // degenerate sizes
+  const std::uint64_t mask = (std::uint64_t{1} << m) - 1;
+  std::uint64_t window = bits.chunk64(0) & mask;
+  ++counts[window];
+  // Windows 1 .. n-m draw their incoming bit from the stream directly.
+  std::uint64_t reg = 0;
+  std::size_t reg_left = 0;
+  std::size_t next = m;
+  for (std::size_t i = 1; i + m <= n; ++i) {
+    if (reg_left == 0) {
+      reg = bits.chunk64(next);
+      reg_left = 64;
+    }
+    window = (window >> 1) | ((reg & 1u) << (m - 1));
+    reg >>= 1;
+    --reg_left;
+    ++next;
+    ++counts[window];
+  }
+  // The last m-1 windows wrap around to the front of the sequence.
+  for (std::size_t i = n - m + 1; i < n; ++i) {
+    const std::uint64_t bit = bits[(i + m - 1) % n] ? 1u : 0u;
+    window = (window >> 1) | (bit << (m - 1));
+    ++counts[window];
+  }
+  return counts;
+}
+
 double psi_squared(const BitStream& bits, std::size_t m) {
   if (m == 0) return 0.0;
+  namespace wo = support::wordops;
+  const bool wordwise = active_engine() == Engine::Wordwise;
   const double n = static_cast<double>(bits.size());
-  const auto counts = pattern_counts(bits, m);
+  const auto counts = wordwise ? pattern_counts_wordwise(bits, m)
+                               : pattern_counts_scalar(bits, m);
   double sum = 0.0;
-  for (std::uint32_t c : counts) {
+  for (std::size_t v = 0; v < counts.size(); ++v) {
+    const std::uint32_t c =
+        wordwise ? counts[wo::bit_reverse(v, static_cast<unsigned>(m))]
+                 : counts[v];
     sum += static_cast<double>(c) * static_cast<double>(c);
   }
   return sum * std::pow(2.0, static_cast<double>(m)) / n - n;
@@ -46,10 +97,16 @@ double psi_squared(const BitStream& bits, std::size_t m) {
 
 double phi(const BitStream& bits, std::size_t m) {
   if (m == 0) return 0.0;
+  namespace wo = support::wordops;
+  const bool wordwise = active_engine() == Engine::Wordwise;
   const double n = static_cast<double>(bits.size());
-  const auto counts = pattern_counts(bits, m);
+  const auto counts = wordwise ? pattern_counts_wordwise(bits, m)
+                               : pattern_counts_scalar(bits, m);
   double sum = 0.0;
-  for (std::uint32_t c : counts) {
+  for (std::size_t v = 0; v < counts.size(); ++v) {
+    const std::uint32_t c =
+        wordwise ? counts[wo::bit_reverse(v, static_cast<unsigned>(m))]
+                 : counts[v];
     if (c > 0) {
       const double p = static_cast<double>(c) / n;
       sum += p * std::log(p);

@@ -7,6 +7,7 @@
 #include <map>
 
 #include "stats/sp800_22.h"
+#include "stats/stats_config.h"
 #include "support/special_functions.h"
 
 namespace dhtrng::stats::sp800_22 {
@@ -39,8 +40,8 @@ WalkInfo analyze_walk(const BitStream& bits) {
       cycle_visits[i] = 0;
     }
   };
-  for (std::size_t i = 0; i < bits.size(); ++i) {
-    s += bits[i] ? 1 : -1;
+  const auto step = [&](bool bit) {
+    s += bit ? 1 : -1;
     if (s == 0) {
       flush_cycle();
     } else {
@@ -51,6 +52,22 @@ WalkInfo analyze_walk(const BitStream& bits) {
         ++info.total_visits[static_cast<std::size_t>(s + 9)];
       }
     }
+  };
+  const std::size_t n = bits.size();
+  if (active_engine() == Engine::Wordwise) {
+    // Same per-bit state machine, but fed from a shifted 64-bit register
+    // instead of per-index container reads; the visit counts are integers,
+    // so the walk is identical.
+    for (std::size_t base = 0; base < n; base += 64) {
+      std::uint64_t reg = bits.chunk64(base);
+      const std::size_t valid = std::min<std::size_t>(64, n - base);
+      for (std::size_t j = 0; j < valid; ++j) {
+        step((reg & 1u) != 0);
+        reg >>= 1;
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) step(bits[i]);
   }
   if (s != 0) flush_cycle();  // the final partial cycle counts as one
   return info;

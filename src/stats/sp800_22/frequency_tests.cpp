@@ -1,11 +1,20 @@
 // SP 800-22 sections 2.1-2.4 and 2.13: Frequency, Block Frequency, Runs,
 // Longest Run of Ones, and Cumulative Sums.
+//
+// Each test computes an integer sufficient statistic (peak excursion,
+// transition count, per-block longest run) that the Scalar engine derives
+// bit by bit and the Wordwise engine derives from whole 64-bit words; the
+// statistic is identical by construction, and the p-value formula runs on
+// the shared integer, so the engines agree bitwise.
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cmath>
 
 #include "stats/sp800_22.h"
+#include "stats/stats_config.h"
 #include "support/special_functions.h"
+#include "support/wordops.h"
 
 namespace dhtrng::stats::sp800_22 {
 
@@ -37,7 +46,8 @@ TestResult block_frequency(const BitStream& bits, std::size_t block_len) {
 
 namespace {
 
-double cusum_p_value(const BitStream& bits, bool forward) {
+/// max_k |S_k| of the ±1 walk, walking forward or backward — bit at a time.
+long long cusum_peak_scalar(const BitStream& bits, bool forward) {
   const std::size_t n = bits.size();
   long long s = 0;
   long long z = 0;
@@ -46,6 +56,50 @@ double cusum_p_value(const BitStream& bits, bool forward) {
     s += bit ? 1 : -1;
     z = std::max(z, std::llabs(s));
   }
+  return z;
+}
+
+/// Same peak via the per-byte walk tables: within a byte the walk's extreme
+/// partial sums are s + max_prefix and s + min_prefix, so the peak |S_k|
+/// over the byte is the larger magnitude of the two.
+long long cusum_peak_wordwise(const BitStream& bits, bool forward) {
+  namespace wo = support::wordops;
+  const std::size_t n = bits.size();
+  const auto words = bits.words();
+  const std::size_t whole_bytes = n / 8;
+  long long s = 0;
+  long long z = 0;
+  const auto step_byte = [&](const wo::ByteWalk& bw) {
+    z = std::max(z, std::max(std::llabs(s + bw.max_prefix),
+                             std::llabs(s + bw.min_prefix)));
+    s += bw.delta;
+  };
+  const auto byte_at = [&](std::size_t b) {
+    return static_cast<std::uint8_t>(words[b >> 3] >> ((b & 7) * 8));
+  };
+  const auto step_bit = [&](bool bit) {
+    s += bit ? 1 : -1;
+    z = std::max(z, std::llabs(s));
+  };
+  if (forward) {
+    for (std::size_t b = 0; b < whole_bytes; ++b) {
+      step_byte(wo::kWalkForward[byte_at(b)]);
+    }
+    for (std::size_t i = whole_bytes * 8; i < n; ++i) step_bit(bits[i]);
+  } else {
+    for (std::size_t i = n; i > whole_bytes * 8; --i) step_bit(bits[i - 1]);
+    for (std::size_t b = whole_bytes; b > 0; --b) {
+      step_byte(wo::kWalkBackward[byte_at(b - 1)]);
+    }
+  }
+  return z;
+}
+
+double cusum_p_value(const BitStream& bits, bool forward) {
+  const std::size_t n = bits.size();
+  const long long z = active_engine() == Engine::Wordwise
+                          ? cusum_peak_wordwise(bits, forward)
+                          : cusum_peak_scalar(bits, forward);
   if (z == 0) return 0.0;
   const double zn = static_cast<double>(z);
   const double sqrt_n = std::sqrt(static_cast<double>(n));
@@ -75,6 +129,76 @@ double cusum_p_value(const BitStream& bits, bool forward) {
   return 1.0 - sum1 + sum2;
 }
 
+std::size_t runs_count_scalar(const BitStream& bits) {
+  const std::size_t n = bits.size();
+  std::size_t v = 1;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (bits[i] != bits[i - 1]) ++v;
+  }
+  return v;
+}
+
+/// Transition count via popcount(x ^ (x >> 1)) per 64-bit chunk; bit j of
+/// chunk64(i) ^ chunk64(i + 1) flags a transition between positions i + j
+/// and i + j + 1.
+std::size_t runs_count_wordwise(const BitStream& bits) {
+  const std::size_t n = bits.size();
+  std::size_t v = 1;
+  for (std::size_t i = 0; i + 1 < n; i += 64) {
+    const std::uint64_t t = bits.chunk64(i) ^ bits.chunk64(i + 1);
+    const std::size_t valid = std::min<std::size_t>(64, n - 1 - i);
+    const std::uint64_t mask = valid >= 64 ? ~0ULL : (1ULL << valid) - 1;
+    v += static_cast<std::size_t>(std::popcount(t & mask));
+  }
+  return v;
+}
+
+std::size_t block_longest_run_scalar(const BitStream& bits, std::size_t base,
+                                     std::size_t m) {
+  std::size_t longest = 0, run = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (bits[base + i]) {
+      ++run;
+      longest = std::max(longest, run);
+    } else {
+      run = 0;
+    }
+  }
+  return longest;
+}
+
+/// Longest run of ones in a 64-bit word (x &= x << 1 peels one bit off every
+/// run per iteration).
+std::size_t word_longest_run(std::uint64_t x) {
+  std::size_t k = 0;
+  while (x != 0) {
+    x &= x << 1;
+    ++k;
+  }
+  return k;
+}
+
+std::size_t block_longest_run_wordwise(const BitStream& bits, std::size_t base,
+                                       std::size_t m) {
+  std::size_t longest = 0;
+  std::size_t run = 0;  // ones-run carried across chunk boundaries
+  for (std::size_t off = 0; off < m; off += 64) {
+    const std::size_t valid = std::min<std::size_t>(64, m - off);
+    const std::uint64_t x = bits.chunk64(base + off) &
+                            (valid >= 64 ? ~0ULL : (1ULL << valid) - 1);
+    const std::size_t lead = static_cast<std::size_t>(std::countr_one(x));
+    if (lead >= valid) {  // chunk is all ones: the carried run continues
+      run += valid;
+      continue;
+    }
+    longest = std::max(longest, run + lead);
+    longest = std::max(longest, word_longest_run(x));
+    // Ones at the top of the valid window seed the next chunk's carry.
+    run = static_cast<std::size_t>(std::countl_one(x << (64 - valid)));
+  }
+  return std::max(longest, run);
+}
+
 }  // namespace
 
 TestResult cumulative_sums(const BitStream& bits) {
@@ -90,10 +214,9 @@ TestResult runs(const BitStream& bits) {
   if (std::abs(pi - 0.5) >= 2.0 / std::sqrt(nd)) {
     return {"Runs", {0.0}};
   }
-  std::size_t v = 1;
-  for (std::size_t i = 1; i < n; ++i) {
-    if (bits[i] != bits[i - 1]) ++v;
-  }
+  const std::size_t v = active_engine() == Engine::Wordwise
+                            ? runs_count_wordwise(bits)
+                            : runs_count_scalar(bits);
   const double vd = static_cast<double>(v);
   const double p = erfc(std::abs(vd - 2.0 * nd * pi * (1.0 - pi)) /
                         (2.0 * std::sqrt(2.0 * nd) * pi * (1.0 - pi)));
@@ -117,17 +240,12 @@ TestResult longest_run(const BitStream& bits) {
     pi = {0.2148, 0.3672, 0.2305, 0.1875};
   }
   const std::size_t blocks = n / m;
+  const bool wordwise = active_engine() == Engine::Wordwise;
   std::vector<std::size_t> nu(k + 1, 0);
   for (std::size_t b = 0; b < blocks; ++b) {
-    std::size_t longest = 0, run = 0;
-    for (std::size_t i = 0; i < m; ++i) {
-      if (bits[b * m + i]) {
-        ++run;
-        longest = std::max(longest, run);
-      } else {
-        run = 0;
-      }
-    }
+    const std::size_t longest =
+        wordwise ? block_longest_run_wordwise(bits, b * m, m)
+                 : block_longest_run_scalar(bits, b * m, m);
     std::size_t cls = longest <= v_min ? 0
                       : longest >= v_min + k ? k
                                              : longest - v_min;

@@ -1,9 +1,11 @@
 // SP 800-90B section 6.3.4: Compression (Maurer-style) estimator.
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "stats/sp800_90b.h"
+#include "stats/stats_config.h"
 
 namespace dhtrng::stats::sp800_90b {
 
@@ -15,24 +17,43 @@ constexpr std::size_t kDictBlocks = 1000;   // d
 
 /// G(z): expected compression statistic for the near-uniform family with
 /// most-likely-block probability z (SP 800-90B 6.3.4 step 7).
-double g_function(double z, std::size_t d, std::size_t num_blocks) {
+///
+/// Two bitwise-exact shortcuts keep the binary search affordable:
+///  * log2(u) / log2(t) come from a caller-supplied table — the same libm
+///    call on the same argument, evaluated once instead of per invocation;
+///  * both power series underflow: once q_pow reaches exact 0.0 the inner
+///    sum only adds log2(u) * 0.0 == 0.0 (skipped, u jumped forward), and
+///    for t past the point where q^(t-1) < 2^-1080 — a factor 64 below the
+///    smallest subnormal, so any faithfully-rounded pow returns exact 0.0
+///    — the pow call is replaced by the 0.0 it would have produced.
+double g_function(double z, std::size_t d, std::size_t num_blocks,
+                  const std::vector<double>& log2_tab) {
   const double q = 1.0 - z;
   const std::size_t v = num_blocks - d;
+  // t beyond which pow(q, t - 1) is certainly exact 0.0.
+  const double lg_q = std::log2(q);
+  double t_zero = std::numeric_limits<double>::infinity();
+  if (lg_q < 0.0) t_zero = 1.0 - 1080.0 / lg_q;
   // inner(t) = sum_{u=1}^{t-1} log2(u) (1-z)^(u-1); accumulate as t grows.
   double inner = 0.0;
   double q_pow = 1.0;  // (1-z)^(u-1) for the next u
   std::size_t u = 1;
   double total = 0.0;
   for (std::size_t t = d + 1; t <= num_blocks; ++t) {
-    while (u < t) {
-      inner += std::log2(static_cast<double>(u)) * q_pow;
-      q_pow *= q;
-      ++u;
+    if (q_pow != 0.0) {
+      while (u < t) {
+        inner += log2_tab[u] * q_pow;
+        q_pow *= q;
+        ++u;
+      }
+    } else {
+      u = t;  // remaining terms are exact zeros
     }
     // F(z,t,u) = z^2 (1-z)^(u-1) for u < t, z (1-z)^(t-1) for u = t.
-    total += z * z * inner +
-             z * std::log2(static_cast<double>(t)) *
-                 std::pow(q, static_cast<double>(t) - 1.0);
+    const double td = static_cast<double>(t);
+    const double tail =
+        td > t_zero ? 0.0 : std::pow(q, td - 1.0);
+    total += z * z * inner + z * log2_tab[t] * tail;
   }
   return total / static_cast<double>(v);
 }
@@ -49,7 +70,15 @@ EstimatorResult compression(const BitStream& bits) {
     return result;
   }
   std::vector<std::size_t> last(std::size_t{1} << kBlockBits, 0);
+  // The block value is only a table key: the wordwise LSB-first read
+  // permutes `last[]` slots but leaves every distance b + 1 - last[v] —
+  // and with it the log2 sum's operation sequence — unchanged.
+  const bool wordwise = active_engine() == Engine::Wordwise;
   const auto block_value = [&](std::size_t b) {
+    if (wordwise) {
+      return static_cast<std::size_t>(bits.chunk64(b * kBlockBits) &
+                                      ((std::uint64_t{1} << kBlockBits) - 1));
+    }
     std::size_t v = 0;
     for (std::size_t j = 0; j < kBlockBits; ++j) {
       v = (v << 1) | (bits[b * kBlockBits + j] ? 1u : 0u);
@@ -82,11 +111,15 @@ EstimatorResult compression(const BitStream& bits) {
   // probability p: the MCV block contributes G(p) and each of the 2^b - 1
   // other blocks contributes G((1-p)/(2^b-1)) (SP 800-90B 6.3.4 step 7).
   const double symbols = std::pow(2.0, b_d);
+  std::vector<double> log2_tab(num_blocks + 1);
+  for (std::size_t u = 1; u <= num_blocks; ++u) {
+    log2_tab[u] = std::log2(static_cast<double>(u));
+  }
   const auto expected_statistic = [&](double p) {
-    return g_function(p, kDictBlocks, num_blocks) +
+    return g_function(p, kDictBlocks, num_blocks, log2_tab) +
            (symbols - 1.0) *
                g_function((1.0 - p) / (symbols - 1.0), kDictBlocks,
-                          num_blocks);
+                          num_blocks, log2_tab);
   };
   // Binary search for the largest p with E[X](p) >= x_lo (more-biased
   // sources compress better, so the expectation decreases in p).

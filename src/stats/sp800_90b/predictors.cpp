@@ -8,11 +8,13 @@
 // correct global predictions (predictor_p_max in basic.cpp).
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <vector>
 
 #include "stats/sp800_90b.h"
+#include "stats/stats_config.h"
 
 namespace dhtrng::stats::sp800_90b {
 
@@ -56,9 +58,10 @@ EstimatorResult multi_mcw(const BitStream& bits) {
   std::array<std::size_t, 4> ones{};    // ones within each window
   std::array<std::size_t, 4> score{};   // sub-predictor scoreboard
   GlobalScore global;
-  for (std::size_t i = kWindows[0]; i < n; ++i) {
-    // Predictions: most common value in the trailing window (ties -> 1,
-    // matching the reference implementation's >= comparison).
+  // Per-step body of the reference loop: predictions are the most common
+  // value in each trailing window (ties -> 1, matching the reference
+  // implementation's >= comparison).
+  const auto scalar_step = [&](std::size_t i) {
     std::array<bool, 4> pred{};
     std::size_t leader = 0;
     for (std::size_t w = 0; w < 4; ++w) {
@@ -81,15 +84,139 @@ EstimatorResult multi_mcw(const BitStream& bits) {
       if (actual) ++ones[w];
       if (i >= window && bits[i - window]) --ones[w];
     }
+  };
+
+  // Warm-up until every window is full; the integer predictor state is the
+  // same under both engines, so the wordwise path can take over mid-stream.
+  const std::size_t split =
+      std::min(n, kWindows[3] + 1);  // i >= 4096: all windows active
+  std::size_t i = kWindows[0];
+  for (; i < split; ++i) scalar_step(i);
+
+  if (active_engine() == Engine::Wordwise) {
+    // Steady state: the incoming bit and the four bits leaving the windows
+    // are read 64 at a time from the packed words; the prediction /
+    // scoreboard updates are the scalar body with every `i >= window`
+    // condition constant-true.
+    for (std::size_t base = i; base < n; base += 64) {
+      const std::size_t cnt = std::min<std::size_t>(64, n - base);
+      const std::uint64_t cur = bits.chunk64(base);
+      std::array<std::uint64_t, 4> leave;
+      for (std::size_t w = 0; w < 4; ++w) {
+        leave[w] = bits.chunk64(base - kWindows[w]);
+      }
+      for (std::size_t j = 0; j < cnt; ++j) {
+        std::array<bool, 4> pred{};
+        std::size_t leader = 0;
+        for (std::size_t w = 0; w < 4; ++w) {
+          pred[w] = 2 * ones[w] >= kWindows[w];
+          if (score[w] > score[leader]) leader = w;
+        }
+        const bool actual = (cur >> j) & 1;
+        global.observe(pred[leader] == actual);
+        for (std::size_t w = 0; w < 4; ++w) {
+          if (pred[w] == actual) ++score[w];
+          if (actual) ++ones[w];
+          ones[w] -= (leave[w] >> j) & 1;
+        }
+      }
+    }
+  } else {
+    for (; i < n; ++i) scalar_step(i);
   }
   return from_predictions("Multi-MCW", global.correct, global.total,
                           global.longest_run);
 }
 
+namespace {
+
+/// Wordwise Lag: the 128 sub-predictor scores are kept as bitsliced
+/// counters (plane p holds bit p of all 128 scores in two words), so one
+/// step's increments — the set of lags that predicted correctly, which is
+/// just the 128-bit trailing history H (or its complement) — are applied
+/// with a ripple-carry add in O(carry depth) word operations instead of
+/// 128 array updates.  The leader is maintained incrementally: with M the
+/// current maximum score and `mask` the set of lags attaining it, an
+/// increment set S either hits the argmax (new maximum M+1, new argmax
+/// mask & S) or leaves M unchanged, in which case the argmax set is
+/// re-derived from the planes by equality match against M.  All state is
+/// integral, so the scores, leaders and predictions — and hence the
+/// global hit statistics — are exactly the scalar engine's.
+EstimatorResult lag_wordwise(const BitStream& bits) {
+  const std::size_t n = bits.size();
+  constexpr std::size_t kPlanes = 48;  // scores < 2^48 always
+  std::array<std::array<std::uint64_t, 2>, kPlanes> plane{};
+  std::uint64_t m0 = ~std::uint64_t{0}, m1 = ~std::uint64_t{0};  // argmax set
+  std::size_t max_score = 0;
+  // History: bit d holds bits[i - 1 - d]; bits beyond the stream start stay
+  // zero, matching the scalar engine's "predict 0 before lag d is live".
+  std::uint64_t h0 = bits[0] ? 1u : 0u, h1 = 0;
+  GlobalScore global;
+  for (std::size_t i = 1; i < n; ++i) {
+    // Leader: smallest lag index attaining the maximum score — the same
+    // index the scalar engine's strict-> scan settles on.
+    const std::size_t leader =
+        m0 != 0 ? static_cast<std::size_t>(std::countr_zero(m0))
+                : 64 + static_cast<std::size_t>(std::countr_zero(m1));
+    const bool actual = bits[i];
+    const bool prediction = leader < 64 ? ((h0 >> leader) & 1) != 0
+                                        : ((h1 >> (leader - 64)) & 1) != 0;
+    global.observe(prediction == actual);
+    // Increment set: lag d+1 predicted correctly iff bits[i-1-d] == actual
+    // and the lag is live (d <= i - 1).
+    std::uint64_t s0 = actual ? h0 : ~h0;
+    std::uint64_t s1 = actual ? h1 : ~h1;
+    if (i < 64) {
+      s0 &= (std::uint64_t{1} << i) - 1;
+      s1 = 0;
+    } else if (i < 128) {
+      s1 &= (std::uint64_t{1} << (i - 64)) - 1;
+    }
+    // score[d] += S[d] for all d at once: ripple-carry into the planes.
+    std::uint64_t c0 = s0, c1 = s1;
+    for (std::size_t p = 0; (c0 | c1) != 0 && p < kPlanes; ++p) {
+      const std::uint64_t o0 = plane[p][0], o1 = plane[p][1];
+      plane[p][0] = o0 ^ c0;
+      plane[p][1] = o1 ^ c1;
+      c0 &= o0;
+      c1 &= o1;
+    }
+    // Argmax maintenance.
+    const std::uint64_t a0 = m0 & s0, a1 = m1 & s1;
+    if ((a0 | a1) != 0) {
+      // Some current leader scored: the maximum rises and only those keep it.
+      ++max_score;
+      m0 = a0;
+      m1 = a1;
+    } else {
+      // Maximum unchanged; runners-up at M-1 that scored join the argmax.
+      // Planes at or above bit_width(M) are all-zero (scores <= M) and
+      // match M's zero bits there, so the equality scan can stop early.
+      std::uint64_t e0 = ~std::uint64_t{0}, e1 = ~std::uint64_t{0};
+      const std::size_t top = std::bit_width(max_score);
+      for (std::size_t p = 0; p < top; ++p) {
+        const std::uint64_t sel =
+            (max_score >> p) & 1 ? ~std::uint64_t{0} : 0;
+        e0 &= ~(plane[p][0] ^ sel);
+        e1 &= ~(plane[p][1] ^ sel);
+      }
+      m0 = e0;
+      m1 = e1;
+    }
+    h1 = (h1 << 1) | (h0 >> 63);
+    h0 = (h0 << 1) | (actual ? 1u : 0u);
+  }
+  return from_predictions("Lag", global.correct, global.total,
+                          global.longest_run);
+}
+
+}  // namespace
+
 EstimatorResult lag(const BitStream& bits) {
   constexpr std::size_t kLags = 128;
   const std::size_t n = bits.size();
   if (n < 2) return from_predictions("Lag", 0, 0, 0);
+  if (active_engine() == Engine::Wordwise) return lag_wordwise(bits);
 
   std::array<std::size_t, kLags> score{};
   GlobalScore global;

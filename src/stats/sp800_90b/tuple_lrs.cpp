@@ -1,12 +1,25 @@
 // SP 800-90B sections 6.3.5 and 6.3.6: t-Tuple and Longest Repeated
 // Substring estimators (binary alphabet, windowed counting).
+//
+// The scalar engine rescans the stream once (twice for LRS) per tuple
+// length with flat / hashed window tables.  The wordwise engine refines a
+// partition of window start positions one bit at a time instead: groups of
+// positions whose windows agree on the first L bits are split by bit L,
+// singletons drop out, and the per-length statistics (max count, number of
+// colliding pairs) are read off the group sizes.  Both are multiset
+// statistics of the value -> count map — max is order-free and the pair
+// sum adds integers (C(c,2) <= C(n,2) < 2^53), so the doubles agree
+// bit-for-bit with the scalar engine's accumulation order.
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "stats/sp800_90b.h"
+#include "stats/stats_config.h"
 
 namespace dhtrng::stats::sp800_90b {
 
@@ -72,15 +85,96 @@ TupleStats tuple_stats(const BitStream& bits, std::size_t len) {
   return st;
 }
 
+/// Incremental partition refinement over window start positions.  After
+/// `next()` has been called L times, the kept groups are exactly the sets
+/// of positions p <= n - L whose length-L windows are equal, restricted to
+/// groups of size >= 2 (singletons can never split again and contribute
+/// neither a pair nor a max beyond 1).  Each refinement step only touches
+/// positions still in a group, so the cost collapses once the data stops
+/// repeating — O(n) per length early on, near zero past ~2 log2 n.
+class TupleRefiner {
+ public:
+  explicit TupleRefiner(const BitStream& bits)
+      : words_(bits.words()), n_(bits.size()) {
+    pos_.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      pos_[i] = static_cast<std::uint32_t>(i);
+    }
+    tmp_.resize(n_);
+    if (n_ > 0) group_len_.push_back(n_);
+  }
+
+  /// Advance to the next length (first call refines to length 1) and
+  /// return that length's statistics.
+  TupleStats next() {
+    ++len_;
+    TupleStats st;
+    if (len_ > n_) {
+      group_len_.clear();
+      return st;
+    }
+    const std::size_t limit = n_ - len_;   // valid starts: p <= limit
+    const std::size_t off = len_ - 1;      // split by bits[p + off]
+    std::uint64_t largest = 0;
+    std::size_t read = 0, out = 0;
+    new_groups_.clear();
+    for (std::size_t glen : group_len_) {
+      zeros_.clear();
+      ones_.clear();
+      for (std::size_t k = 0; k < glen; ++k) {
+        const std::uint32_t p = pos_[read + k];
+        if (p > limit) continue;  // window would run past the end
+        const std::size_t q = p + off;
+        if ((words_[q >> 6] >> (q & 63)) & 1) {
+          ones_.push_back(p);
+        } else {
+          zeros_.push_back(p);
+        }
+      }
+      read += glen;
+      for (const auto* sub : {&zeros_, &ones_}) {
+        const std::size_t c = sub->size();
+        if (c < 2) continue;  // singleton: count 1, no pairs, never splits
+        for (std::uint32_t p : *sub) tmp_[out++] = p;
+        new_groups_.push_back(c);
+        largest = std::max<std::uint64_t>(largest, c);
+        st.collision_pairs +=
+            0.5 * static_cast<double>(c) * static_cast<double>(c - 1);
+      }
+    }
+    pos_.swap(tmp_);
+    group_len_.swap(new_groups_);
+    // Every valid window carries some value, so the max count is at least 1
+    // even when all surviving counts (dropped singletons) are exactly 1.
+    st.max_count = std::max<std::uint64_t>(largest, 1);
+    return st;
+  }
+
+ private:
+  std::span<const std::uint64_t> words_;
+  std::size_t n_;
+  std::size_t len_ = 0;
+  std::vector<std::uint32_t> pos_, tmp_, zeros_, ones_;
+  std::vector<std::size_t> group_len_, new_groups_;
+};
+
+bool use_refiner(const BitStream& bits) {
+  return active_engine() == Engine::Wordwise &&
+         bits.size() < std::numeric_limits<std::uint32_t>::max();
+}
+
 }  // namespace
 
 EstimatorResult t_tuple(const BitStream& bits) {
   const std::size_t n = bits.size();
   // Find t: the largest tuple length whose most common tuple appears at
   // least 35 times; P_max over lengths 1..t of (max_count / windows)^(1/i).
+  const bool wordwise = use_refiner(bits);
+  TupleRefiner refiner(bits);
   double p_hat = 0.0;
   for (std::size_t len = 1; len <= 63; ++len) {
-    const TupleStats st = tuple_stats(bits, len);
+    const TupleStats st =
+        wordwise ? refiner.next() : tuple_stats(bits, len);
     if (st.max_count < 35) break;
     const double windows = static_cast<double>(n - len + 1);
     const double p_len = std::pow(
@@ -94,6 +188,28 @@ EstimatorResult t_tuple(const BitStream& bits) {
 
 EstimatorResult lrs(const BitStream& bits) {
   const std::size_t n = bits.size();
+  if (use_refiner(bits)) {
+    // Single refinement sweep: lengths below u (the first length whose most
+    // common tuple appears fewer than 35 times) only advance the partition;
+    // from u on, the pair counts feed the estimate until repeats run out.
+    TupleRefiner refiner(bits);
+    double p_hat = 0.0;
+    bool counting = false;
+    for (std::size_t len = 1; len <= 63; ++len) {
+      const TupleStats st = refiner.next();
+      if (!counting) {
+        if (st.max_count >= 35) continue;
+        counting = true;  // len == u
+      }
+      if (st.collision_pairs < 1.0) break;  // no repeats at this length
+      const double windows = static_cast<double>(n - len + 1);
+      const double total_pairs = 0.5 * windows * (windows - 1.0);
+      const double p_w = st.collision_pairs / total_pairs;
+      p_hat = std::max(p_hat, std::pow(p_w, 1.0 / static_cast<double>(len)));
+    }
+    if (p_hat == 0.0) p_hat = 0.5;
+    return bounded("LRS", p_hat, static_cast<double>(n));
+  }
   // u: one past the largest length with max count >= 35 (where t-Tuple
   // stops); v: the longest length that still has any repeated tuple.
   std::size_t u = 1;

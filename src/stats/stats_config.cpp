@@ -1,0 +1,21 @@
+#include "stats/stats_config.h"
+
+#include <atomic>
+
+namespace dhtrng::stats {
+
+namespace {
+std::atomic<Engine> g_engine{Engine::Wordwise};
+}  // namespace
+
+Engine active_engine() { return g_engine.load(std::memory_order_relaxed); }
+
+void set_engine(Engine engine) {
+  g_engine.store(engine, std::memory_order_relaxed);
+}
+
+const char* engine_name(Engine engine) {
+  return engine == Engine::Scalar ? "scalar" : "wordwise";
+}
+
+}  // namespace dhtrng::stats

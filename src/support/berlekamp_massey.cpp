@@ -1,5 +1,6 @@
 #include "support/berlekamp_massey.h"
 
+#include <array>
 #include <bit>
 #include <cstdint>
 #include <vector>
@@ -8,46 +9,33 @@
 
 namespace dhtrng::support {
 
-namespace {
-
-// Fixed-width bit vector helpers (width = number of 64-bit words).
-
-void shift_right_xor(std::vector<std::uint64_t>& dst,
-                     const std::vector<std::uint64_t>& src,
-                     std::size_t shift) {
-  // dst ^= src >> shift   (logical shift across words; bit i of src lands on
-  // bit i - shift of dst).
-  const std::size_t word_shift = shift >> 6;
-  const std::size_t bit_shift = shift & 63;
-  const std::size_t words = dst.size();
-  for (std::size_t w = 0; w + word_shift < words; ++w) {
-    std::uint64_t v = src[w + word_shift] >> bit_shift;
-    if (bit_shift != 0 && w + word_shift + 1 < words) {
-      v |= src[w + word_shift + 1] << (64 - bit_shift);
+std::size_t linear_complexity_ref(const BitStream& bits, std::size_t begin,
+                                  std::size_t len) {
+  if (len == 0) return 0;
+  std::vector<std::uint8_t> s(len), c(len, 0), b(len, 0), t(len);
+  for (std::size_t i = 0; i < len; ++i) s[i] = bits[begin + i] ? 1 : 0;
+  c[0] = b[0] = 1;
+  std::size_t l = 0;
+  std::size_t m = static_cast<std::size_t>(-1);  // -1; n - m wraps to n + 1
+  for (std::size_t n = 0; n < len; ++n) {
+    std::uint8_t d = s[n];
+    for (std::size_t i = 1; i <= l; ++i) {
+      d = static_cast<std::uint8_t>(d ^ (c[i] & s[n - i]));
     }
-    dst[w] ^= v;
-  }
-}
-
-std::uint64_t and_parity_shifted(const std::vector<std::uint64_t>& a,
-                                 const std::vector<std::uint64_t>& b,
-                                 std::size_t b_shift) {
-  // parity( a & (b >> b_shift) )
-  const std::size_t word_shift = b_shift >> 6;
-  const std::size_t bit_shift = b_shift & 63;
-  const std::size_t words = a.size();
-  std::uint64_t acc = 0;
-  for (std::size_t w = 0; w + word_shift < words; ++w) {
-    std::uint64_t v = b[w + word_shift] >> bit_shift;
-    if (bit_shift != 0 && w + word_shift + 1 < words) {
-      v |= b[w + word_shift + 1] << (64 - bit_shift);
+    if (d == 0) continue;
+    t = c;
+    const std::size_t shift = n - m;
+    for (std::size_t i = 0; i + shift < len; ++i) {
+      c[i + shift] ^= b[i];  // C(x) ^= B(x) * x^shift
     }
-    acc ^= a[w] & v;
+    if (2 * l <= n) {
+      l = n + 1 - l;
+      m = n;
+      b = t;
+    }
   }
-  return static_cast<std::uint64_t>(std::popcount(acc)) & 1u;
+  return l;
 }
-
-}  // namespace
 
 std::size_t linear_complexity(const BitStream& bits, std::size_t begin,
                               std::size_t len) {
@@ -58,32 +46,84 @@ std::size_t linear_complexity(const BitStream& bits, std::size_t begin,
   //     d_n = XOR_{i=0..L} c_i * s_{n-i}
   // becomes a masked popcount-parity of S with C shifted right by
   // (len-1-n), and the update C ^= B * x^(n-m) becomes a right shift.
+  // deg C <= L and deg B <= (L at the last length change), so both loops
+  // only walk the words that support can reach — O(L/64) instead of
+  // O(len/64) per step.
   const std::size_t words = (len + 63) / 64;
-  std::vector<std::uint64_t> s(words, 0);
-  for (std::size_t i = 0; i < len; ++i) {
-    if (bits[begin + i]) s[i >> 6] |= 1ULL << (i & 63);
+  constexpr std::size_t kStackWords = 64;  // blocks up to 4096 bits
+  std::array<std::uint64_t, kStackWords> s_stack{}, c_stack{}, b_stack{},
+      t_stack{};
+  std::vector<std::uint64_t> heap;
+  std::uint64_t *s, *c, *b, *t;
+  if (words <= kStackWords) {
+    s = s_stack.data(), c = c_stack.data(), b = b_stack.data(),
+    t = t_stack.data();
+  } else {
+    heap.assign(4 * words, 0);
+    s = heap.data(), c = s + words, b = c + words, t = b + words;
   }
-  std::vector<std::uint64_t> c(words, 0), b(words, 0), t;
-  const auto set_top = [&](std::vector<std::uint64_t>& v) {
+  for (std::size_t w = 0; w < words; ++w) s[w] = bits.chunk64(begin + 64 * w);
+  if ((len & 63) != 0) s[words - 1] &= (1ULL << (len & 63)) - 1;
+
+  const auto set_top = [&](std::uint64_t* v) {
     v[(len - 1) >> 6] |= 1ULL << ((len - 1) & 63);
   };
   set_top(c);  // C(x) = 1
   set_top(b);  // B(x) = 1
+
+  // dst ^= b >> shift, restricted to the dst bits B's support can reach
+  // (B has coefficients 0..b_deg, i.e. window bits len-1-b_deg .. len-1).
+  const auto xor_shifted_b = [&](std::size_t shift, std::size_t b_deg) {
+    // shift >= len pushes even coefficient b_0 past the window: a no-op
+    // (the reference's `i + shift < len` loop bound).  Reachable only on
+    // the first discrepancy (m = -1), where shift = n + 1 can hit len.
+    if (shift >= len) return;
+    const std::size_t word_shift = shift >> 6;
+    const unsigned bit_shift = static_cast<unsigned>(shift & 63);
+    const std::size_t top = len - 1 - shift;
+    const std::size_t bot = top >= b_deg ? top - b_deg : 0;
+    for (std::size_t w = bot >> 6; w <= top >> 6; ++w) {
+      std::uint64_t v = b[w + word_shift] >> bit_shift;
+      if (bit_shift != 0 && w + word_shift + 1 < words) {
+        v |= b[w + word_shift + 1] << (64 - bit_shift);
+      }
+      c[w] ^= v;
+    }
+  };
+
   std::size_t l = 0;
-  // m is the index of the last length change; the textbook initial value is
-  // -1, which unsigned wraparound reproduces exactly (n - m == n + 1).
-  std::size_t m = static_cast<std::size_t>(-1);
+  std::size_t m = static_cast<std::size_t>(-1);  // -1; n - m wraps to n + 1
+  std::size_t b_deg = 0;                         // support bound of B
   for (std::size_t n = 0; n < len; ++n) {
-    const std::uint64_t d = and_parity_shifted(s, c, len - 1 - n);
-    if (d == 0) continue;
+    // d_n: C >> (len-1-n) aligns coefficient c_{n-j} with s_j; the product
+    // is nonzero only for j in [n-l, n].
+    const std::size_t shift = len - 1 - n;
+    const std::size_t word_shift = shift >> 6;
+    const unsigned bit_shift = static_cast<unsigned>(shift & 63);
+    const std::size_t lo = n >= l ? (n - l) >> 6 : 0;
+    const std::size_t hi = n >> 6;
+    std::uint64_t acc = 0;
+    for (std::size_t w = lo; w <= hi; ++w) {
+      std::uint64_t v = 0;
+      if (w + word_shift < words) {
+        v = c[w + word_shift] >> bit_shift;
+        if (bit_shift != 0 && w + word_shift + 1 < words) {
+          v |= c[w + word_shift + 1] << (64 - bit_shift);
+        }
+      }
+      acc ^= s[w] & v;
+    }
+    if ((std::popcount(acc) & 1) == 0) continue;
+
     if (2 * l <= n) {
-      t = c;
-      shift_right_xor(c, b, n - m);
-      b = std::move(t);
+      for (std::size_t w = 0; w < words; ++w) t[w] = c[w];
+      xor_shifted_b(n - m, b_deg);
+      std::swap(b, t);  // B := previous C
+      b_deg = l;
       l = n + 1 - l;
       m = n;
     } else {
-      shift_right_xor(c, b, n - m);
+      xor_shifted_b(n - m, b_deg);
     }
   }
   return l;

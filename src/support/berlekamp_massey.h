@@ -9,8 +9,16 @@ namespace dhtrng::support {
 class BitStream;
 
 /// Linear complexity (length of the shortest LFSR) of bits
-/// [begin, begin + len) of the stream.
+/// [begin, begin + len) of the stream.  Word-parallel: connection
+/// polynomials live in 64-bit words (stack-allocated up to 4096 bits), the
+/// block is packed via chunk64, and the discrepancy / update loops touch
+/// only the words the polynomial support can reach.
 std::size_t linear_complexity(const BitStream& bits, std::size_t begin,
                               std::size_t len);
+
+/// Textbook bit-at-a-time Berlekamp–Massey.  Returns the same value as
+/// linear_complexity; kept as the Scalar statistics engine's oracle.
+std::size_t linear_complexity_ref(const BitStream& bits, std::size_t begin,
+                                  std::size_t len);
 
 }  // namespace dhtrng::support

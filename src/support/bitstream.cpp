@@ -35,6 +35,11 @@ BitStream BitStream::from_bytes(const std::vector<std::uint8_t>& bytes) {
   return bs;
 }
 
+bool BitStream::at(std::size_t i) const {
+  if (i >= size_) throw std::out_of_range("BitStream::at");
+  return (words_[i >> 6] >> (i & 63)) & 1u;
+}
+
 void BitStream::push_back(bool bit) {
   if ((size_ & 63) == 0) words_.push_back(0);
   if (bit) words_.back() |= 1ULL << (size_ & 63);

@@ -5,8 +5,10 @@
 // stored LSB-first inside 64-bit words; indexing is in emission order.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -28,15 +30,28 @@ class BitStream {
   void reserve(std::size_t nbits) { words_.reserve((nbits + 63) / 64); }
 
   bool operator[](std::size_t i) const {
+    assert(i < size_ && "BitStream index out of range");
     return (words_[i >> 6] >> (i & 63)) & 1u;
   }
   void set(std::size_t i, bool v) {
+    assert(i < size_ && "BitStream index out of range");
     const std::uint64_t mask = 1ULL << (i & 63);
     if (v) words_[i >> 6] |= mask; else words_[i >> 6] &= ~mask;
   }
 
+  /// Bounds-checked operator[]: throws std::out_of_range.
+  bool at(std::size_t i) const;
+
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+
+  /// Word view of the packed storage: ceil(size()/64) words, bit i of the
+  /// stream at bit (i & 63) of word (i >> 6).  Invariant: bits at positions
+  /// >= size() in the final word are zero, so word-parallel kernels can
+  /// popcount whole words without masking the tail.
+  std::span<const std::uint64_t> words() const {
+    return {words_.data(), words_.size()};
+  }
 
   /// Number of 1 bits in the whole stream.
   std::size_t count_ones() const;

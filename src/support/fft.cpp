@@ -1,7 +1,11 @@
 #include "support/fft.h"
 
+#include <array>
 #include <bit>
 #include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <numbers>
 #include <stdexcept>
 
@@ -38,6 +42,199 @@ void fft_impl(std::vector<std::complex<double>>& a, bool inverse) {
   }
   if (inverse) {
     for (auto& x : a) x /= static_cast<double>(n);
+  }
+}
+
+// --- Mixed-radix machinery for the fast real-DFT path -----------------------
+//
+// A Plan holds the factorization of the transform length plus two twiddle
+// tables computed once (each entry an independent cos/sin call, so table
+// error stays at ~1 ulp instead of accumulating through a recurrence):
+//   twiddle[t]      = exp(-2*pi*i * t / n)        for the complex FFT stages
+//   half_twiddle[k] = exp(-2*pi*i * k / (2*n))    for the real untangle step
+// Plans are cached per length; the spectral test always asks for one length
+// per stream size, so the cache stays tiny.
+
+struct MixedRadixPlan {
+  std::size_t n = 0;
+  std::vector<std::size_t> factors;  // radix per recursion level, top-down
+  std::vector<std::complex<double>> twiddle;
+  std::vector<std::complex<double>> half_twiddle;
+};
+
+bool smooth235(std::size_t n) {
+  if (n == 0) return false;
+  for (std::size_t f : {std::size_t{2}, std::size_t{3}, std::size_t{5}}) {
+    while (n % f == 0) n /= f;
+  }
+  return n == 1;
+}
+
+std::shared_ptr<const MixedRadixPlan> mixed_radix_plan(std::size_t n) {
+  static std::mutex mutex;
+  static std::map<std::size_t, std::shared_ptr<const MixedRadixPlan>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+
+  auto plan = std::make_shared<MixedRadixPlan>();
+  plan->n = n;
+  std::size_t rem = n;
+  for (std::size_t f : {std::size_t{2}, std::size_t{3}, std::size_t{5}}) {
+    while (rem % f == 0) {
+      plan->factors.push_back(f);
+      rem /= f;
+    }
+  }
+  plan->twiddle.resize(n);
+  plan->half_twiddle.resize(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const double angle =
+        -2.0 * std::numbers::pi * static_cast<double>(t) / static_cast<double>(n);
+    plan->twiddle[t] = {std::cos(angle), std::sin(angle)};
+    plan->half_twiddle[t] = {std::cos(angle / 2.0), std::sin(angle / 2.0)};
+  }
+  cache.emplace(n, plan);
+  return plan;
+}
+
+// Specialized small-radix butterflies.  The generic radix-r combine costs
+// r^2 complex multiplies per output group; exploiting the conjugate
+// symmetry of the twiddle roots brings radix 5 down to 16 real multiplies
+// and radix 3 down to 8 (the X_{r-q} outputs reuse the X_q products with a
+// sign flip).  Constants are the real/imag parts of exp(-2*pi*i*q/r).
+struct Radix5Consts {
+  double c1, s1, c2, s2;
+};
+
+inline Radix5Consts radix5_consts() {
+  static const Radix5Consts k = {
+      std::cos(2.0 * std::numbers::pi / 5.0),
+      std::sin(2.0 * std::numbers::pi / 5.0),
+      std::cos(4.0 * std::numbers::pi / 5.0),
+      std::sin(4.0 * std::numbers::pi / 5.0)};
+  return k;
+}
+
+/// Forward DFT of 5 points: out_q = sum_p t_p exp(-2*pi*i*p*q/5).
+inline void radix5_butterfly(const std::complex<double> t[5],
+                             std::complex<double>& o0,
+                             std::complex<double>& o1,
+                             std::complex<double>& o2,
+                             std::complex<double>& o3,
+                             std::complex<double>& o4) {
+  const Radix5Consts k = radix5_consts();
+  const std::complex<double> a1 = t[1] + t[4];
+  const std::complex<double> a2 = t[2] + t[3];
+  const std::complex<double> b1 = t[1] - t[4];
+  const std::complex<double> b2 = t[2] - t[3];
+  const std::complex<double> m1 = t[0] + k.c1 * a1 + k.c2 * a2;
+  const std::complex<double> m2 = t[0] + k.c2 * a1 + k.c1 * a2;
+  const std::complex<double> n1 = k.s1 * b1 + k.s2 * b2;
+  const std::complex<double> n2 = k.s2 * b1 - k.s1 * b2;
+  // X_q = m - i*n and X_{5-q} = m + i*n; -i*(x+iy) = (y, -x).
+  o0 = t[0] + a1 + a2;
+  o1 = {m1.real() + n1.imag(), m1.imag() - n1.real()};
+  o4 = {m1.real() - n1.imag(), m1.imag() + n1.real()};
+  o2 = {m2.real() + n2.imag(), m2.imag() - n2.real()};
+  o3 = {m2.real() - n2.imag(), m2.imag() + n2.real()};
+}
+
+/// Forward DFT of 3 points.
+inline void radix3_butterfly(const std::complex<double> t[3],
+                             std::complex<double>& o0,
+                             std::complex<double>& o1,
+                             std::complex<double>& o2) {
+  static const double s = std::sin(2.0 * std::numbers::pi / 3.0);
+  const std::complex<double> a = t[1] + t[2];
+  const std::complex<double> b = t[1] - t[2];
+  const std::complex<double> m = t[0] - 0.5 * a;
+  const std::complex<double> n = s * b;
+  o0 = t[0] + a;
+  o1 = {m.real() + n.imag(), m.imag() - n.real()};
+  o2 = {m.real() - n.imag(), m.imag() + n.real()};
+}
+
+// Decimation-in-time: DFT of in[0], in[stride], ..., in[(n-1)*stride] into
+// out[0..n).  tw_stride = plan.n / n, so every twiddle w_n^x is
+// plan.twiddle[x * tw_stride]; the index p*k0*tw_stride is bounded by
+// (r-1)/r * plan.n, so no wrap-around is ever needed.
+void mixed_radix_rec(const std::complex<double>* in, std::size_t stride,
+                     std::complex<double>* out, std::size_t n,
+                     const MixedRadixPlan& plan, std::size_t level,
+                     std::size_t tw_stride) {
+  if (n == 1) {
+    out[0] = in[0];
+    return;
+  }
+  if (n == 5) {
+    const std::complex<double> t[5] = {in[0], in[stride], in[2 * stride],
+                                       in[3 * stride], in[4 * stride]};
+    radix5_butterfly(t, out[0], out[1], out[2], out[3], out[4]);
+    return;
+  }
+  if (n == 3) {
+    const std::complex<double> t[3] = {in[0], in[stride], in[2 * stride]};
+    radix3_butterfly(t, out[0], out[1], out[2]);
+    return;
+  }
+  if (n <= 5) {
+    // Direct strided DFT leaf: avoids recursing to n == 1 and a separate
+    // combine pass.  w_n^j = twiddle[j * (plan.n / n)] since n | plan.n.
+    std::array<std::complex<double>, 5> x;
+    for (std::size_t p = 0; p < n; ++p) x[p] = in[p * stride];
+    const std::size_t unit = plan.n / n;
+    for (std::size_t q = 0; q < n; ++q) {
+      std::complex<double> acc = x[0];
+      std::size_t j = 0;
+      for (std::size_t p = 1; p < n; ++p) {
+        j += q;
+        if (j >= n) j -= n;
+        acc += x[p] * plan.twiddle[j * unit];
+      }
+      out[q] = acc;
+    }
+    return;
+  }
+  const std::size_t r = plan.factors[level];
+  const std::size_t m = n / r;
+  for (std::size_t p = 0; p < r; ++p) {
+    mixed_radix_rec(in + p * stride, stride * r, out + p * m, m, plan,
+                    level + 1, tw_stride * r);
+  }
+  const auto& w = plan.twiddle;
+  if (r == 2) {
+    std::size_t idx = 0;
+    for (std::size_t k = 0; k < m; ++k) {
+      const std::complex<double> t0 = out[k];
+      const std::complex<double> t1 = out[m + k] * w[idx];
+      out[k] = t0 + t1;
+      out[m + k] = t0 - t1;
+      idx += tw_stride;
+    }
+  } else if (r == 5) {
+    std::complex<double> t[5];
+    std::array<std::size_t, 5> idx{};
+    for (std::size_t k = 0; k < m; ++k) {
+      t[0] = out[k];
+      for (std::size_t p = 1; p < 5; ++p) {
+        t[p] = out[p * m + k] * w[idx[p]];
+        idx[p] += p * tw_stride;
+      }
+      radix5_butterfly(t, out[k], out[m + k], out[2 * m + k], out[3 * m + k],
+                       out[4 * m + k]);
+    }
+  } else {  // r == 3
+    std::complex<double> t[3];
+    std::size_t i1 = 0, i2 = 0;
+    for (std::size_t k = 0; k < m; ++k) {
+      t[0] = out[k];
+      t[1] = out[m + k] * w[i1];
+      t[2] = out[2 * m + k] * w[i2];
+      i1 += tw_stride;
+      i2 += 2 * tw_stride;
+      radix3_butterfly(t, out[k], out[m + k], out[2 * m + k]);
+    }
   }
 }
 
@@ -91,6 +288,46 @@ std::vector<double> real_dft_magnitudes(const std::vector<double>& signal) {
   const auto spectrum = dft(buf);
   std::vector<double> mags(n / 2);
   for (std::size_t i = 0; i < mags.size(); ++i) mags[i] = std::abs(spectrum[i]);
+  return mags;
+}
+
+bool fast_real_dft_available(std::size_t n) {
+  return n >= 2 && n % 2 == 0 && smooth235(n / 2);
+}
+
+std::vector<double> real_dft_magnitudes_fast(const std::vector<double>& signal) {
+  const std::size_t n = signal.size();
+  if (!fast_real_dft_available(n)) {
+    throw std::invalid_argument("real_dft_magnitudes_fast: unsupported length");
+  }
+  const std::size_t h = n / 2;
+  const auto plan = mixed_radix_plan(h);
+
+  // Pack the real signal into a half-length complex sequence
+  // z_j = x_{2j} + i x_{2j+1} and transform it once.
+  std::vector<std::complex<double>> z(h), zhat(h);
+  for (std::size_t j = 0; j < h; ++j) {
+    z[j] = {signal[2 * j], signal[2 * j + 1]};
+  }
+  mixed_radix_rec(z.data(), 1, zhat.data(), h, *plan, 0, 1);
+
+  // Untangle: with E_k / O_k the DFTs of the even / odd subsequences,
+  //   Z_k = E_k + i O_k  =>  E_k = (Z_k + conj(Z_{h-k}))/2,
+  //                          O_k = (Z_k - conj(Z_{h-k}))/(2i),
+  //   X_k = E_k + exp(-2*pi*i*k/n) O_k   for k = 0..h-1.
+  std::vector<double> mags(h);
+  for (std::size_t k = 0; k < h; ++k) {
+    const std::complex<double> zk = zhat[k];
+    const std::complex<double> zc = std::conj(zhat[(h - k) % h]);
+    const std::complex<double> e = 0.5 * (zk + zc);
+    const std::complex<double> d = 0.5 * (zk - zc);           // = i O_k
+    const std::complex<double> o(d.imag(), -d.real());        // O_k = -i d
+    const std::complex<double> xk = e + plan->half_twiddle[k] * o;
+    // sqrt(re^2 + im^2) instead of std::abs (hypot): magnitudes here are
+    // O(sqrt(n)), nowhere near the over/underflow range hypot guards
+    // against, and sqrt vectorizes.
+    mags[k] = std::sqrt(xk.real() * xk.real() + xk.imag() * xk.imag());
+  }
   return mags;
 }
 

@@ -22,6 +22,10 @@ class Gf2Matrix {
     if (v) row_bits_[r] |= 1ULL << c; else row_bits_[r] &= ~(1ULL << c);
   }
 
+  /// Replace a whole row at once; bit c of `bits` becomes column c.  Bits at
+  /// or above cols() must be zero.  Word-parallel fill for the rank test.
+  void set_row_bits(std::size_t r, std::uint64_t bits) { row_bits_[r] = bits; }
+
   /// Rank over GF(2) via word-parallel Gaussian elimination.
   std::size_t rank() const;
 

@@ -1,0 +1,195 @@
+// Differential fuzz: the Wordwise engine must be bit-for-bit identical to
+// the Scalar oracle.  Every comparison below is exact (`==` on doubles):
+// the wordwise kernels are restricted to transformations that preserve the
+// exact FP operation sequence, so any ulp of drift is a bug, not noise.
+//
+// This is the heavyweight lane (label: slow).  The default ctest run keeps
+// a smaller smoke version in test_engine_equivalence.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "stats/ais31.h"
+#include "stats/fips140.h"
+#include "stats/health.h"
+#include "stats/sp800_22.h"
+#include "stats/sp800_90b.h"
+#include "stats/stats_config.h"
+#include "support/bitstream.h"
+#include "support/rng.h"
+
+namespace dhtrng::stats {
+namespace {
+
+using support::BitStream;
+
+// Streams the fuzz corpus cycles through: ideal, biased, and structured
+// sources, so both the "everything passes" and the "alarms fire" paths of
+// each kernel are exercised.
+BitStream make_stream(std::uint64_t seed, std::size_t n) {
+  support::SplitMix64 rng(seed);
+  BitStream bits;
+  bits.reserve(n);
+  switch (seed % 5) {
+    case 0:  // heavy bias: failure paths (saturating counters, alarms)
+      for (std::size_t i = 0; i < n; ++i)
+        bits.push_back((rng.next() % 100) < 80);
+      break;
+    case 1:  // mild bias: borderline statistics
+      for (std::size_t i = 0; i < n; ++i)
+        bits.push_back((rng.next() % 100) < 55);
+      break;
+    case 2:  // periodic with noise: template/run/rank structure
+      for (std::size_t i = 0; i < n; ++i)
+        bits.push_back((i % 7 < 3) ^ ((rng.next() & 0xff) < 16));
+      break;
+    case 3:  // long runs: run-length and repetition kernels
+      for (std::size_t i = 0; i < n; ++i) {
+        static_cast<void>(rng.next());
+        bits.push_back((i / (1 + seed % 13)) & 1);
+      }
+      break;
+    default:  // ideal
+      for (std::size_t i = 0; i < n; ++i) bits.push_back(rng.next() & 1);
+      break;
+  }
+  return bits;
+}
+
+void expect_sp800_22_equal(const BitStream& bits, std::uint64_t seed) {
+  std::vector<sp800_22::TestResult> scalar;
+  {
+    ScopedEngine guard(Engine::Scalar);
+    scalar = sp800_22::run_all(bits);
+  }
+  std::vector<sp800_22::TestResult> wordwise;
+  {
+    ScopedEngine guard(Engine::Wordwise);
+    wordwise = sp800_22::run_all(bits);
+  }
+  ASSERT_EQ(scalar.size(), wordwise.size());
+  for (std::size_t t = 0; t < scalar.size(); ++t) {
+    SCOPED_TRACE(testing::Message()
+                 << "seed=" << seed << " test=" << scalar[t].name);
+    EXPECT_EQ(scalar[t].name, wordwise[t].name);
+    EXPECT_EQ(scalar[t].applicable, wordwise[t].applicable);
+    ASSERT_EQ(scalar[t].p_values.size(), wordwise[t].p_values.size());
+    for (std::size_t k = 0; k < scalar[t].p_values.size(); ++k) {
+      // Exact equality on purpose; see the file comment.
+      EXPECT_EQ(scalar[t].p_values[k], wordwise[t].p_values[k])
+          << "sub-test " << k;
+    }
+  }
+}
+
+TEST(EngineDifferential, Sp800_22ExactOnFuzzCorpus) {
+  // >= 100 streams (acceptance criterion), sizes staggered so block
+  // remainders, word tails, and applicability thresholds all vary.
+  for (std::uint64_t seed = 1; seed <= 104; ++seed) {
+    const std::size_t n = 20000 + seed * 773;  // 20.8k .. 100.4k bits
+    expect_sp800_22_equal(make_stream(seed, n), seed);
+  }
+}
+
+TEST(EngineDifferential, Sp800_90bExactEstimators) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const BitStream bits = make_stream(seed, 40000 + seed * 1009);
+    std::vector<sp800_90b::EstimatorResult> scalar;
+    {
+      ScopedEngine guard(Engine::Scalar);
+      scalar = sp800_90b::run_all(bits);
+    }
+    std::vector<sp800_90b::EstimatorResult> wordwise;
+    {
+      ScopedEngine guard(Engine::Wordwise);
+      wordwise = sp800_90b::run_all(bits);
+    }
+    ASSERT_EQ(scalar.size(), wordwise.size());
+    for (std::size_t t = 0; t < scalar.size(); ++t) {
+      SCOPED_TRACE(testing::Message()
+                   << "seed=" << seed << " estimator=" << scalar[t].name);
+      EXPECT_EQ(scalar[t].name, wordwise[t].name);
+      EXPECT_EQ(scalar[t].p_max, wordwise[t].p_max);
+      EXPECT_EQ(scalar[t].h_min, wordwise[t].h_min);
+    }
+  }
+}
+
+TEST(EngineDifferential, Ais31AndFips140Exact) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const BitStream bits = make_stream(seed + 10, ais31::required_bits());
+    std::vector<ais31::TestOutcome> as, aw;
+    std::vector<fips140::Outcome> fs, fw;
+    {
+      ScopedEngine guard(Engine::Scalar);
+      as = ais31::run_all(bits);
+      fs = fips140::run_all(bits.slice(0, fips140::kSampleBits));
+    }
+    {
+      ScopedEngine guard(Engine::Wordwise);
+      aw = ais31::run_all(bits);
+      fw = fips140::run_all(bits.slice(0, fips140::kSampleBits));
+    }
+    ASSERT_EQ(as.size(), aw.size());
+    for (std::size_t t = 0; t < as.size(); ++t) {
+      SCOPED_TRACE(testing::Message()
+                   << "seed=" << seed << " test=" << as[t].name);
+      EXPECT_EQ(as[t].pass, aw[t].pass);
+      EXPECT_EQ(as[t].pass_rate, aw[t].pass_rate);
+      EXPECT_EQ(as[t].detail, aw[t].detail);
+    }
+    ASSERT_EQ(fs.size(), fw.size());
+    for (std::size_t t = 0; t < fs.size(); ++t) {
+      SCOPED_TRACE(testing::Message()
+                   << "seed=" << seed << " test=" << fs[t].name);
+      EXPECT_EQ(fs[t].pass, fw[t].pass);
+      EXPECT_EQ(fs[t].statistic, fw[t].statistic);
+    }
+  }
+}
+
+TEST(EngineDifferential, HealthFeedWordMatchesPerBitFeeds) {
+  // feed_word must reproduce per-bit feeding exactly: same return values,
+  // same alarm points, same frozen post-alarm state — across word sizes
+  // from 1 to 64 chosen at random.
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    support::SplitMix64 rng(seed * 977);
+    std::vector<bool> stream;
+    const std::size_t n = 20000;
+    stream.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (seed % 4) {
+        case 0: stream.push_back((rng.next() % 100) < 85); break;
+        case 1: stream.push_back(rng.next() & 1); break;
+        case 2: stream.push_back(i < 500 || (rng.next() & 1)); break;
+        default: stream.push_back((rng.next() % 100) < 60); break;
+      }
+    }
+    HealthMonitor serial(0.9);
+    HealthMonitor batch(0.9);
+    std::size_t i = 0;
+    while (i < n) {
+      const std::size_t nbits =
+          std::min<std::size_t>(1 + (rng.next() % 64), n - i);
+      std::uint64_t word = 0;
+      bool serial_ok = true;
+      for (std::size_t j = 0; j < nbits; ++j) {
+        if (stream[i + j]) word |= std::uint64_t{1} << j;
+        serial_ok = serial.feed(stream[i + j]) && serial_ok;
+      }
+      const bool batch_ok = batch.feed_word(word, nbits);
+      ASSERT_EQ(serial_ok, batch_ok) << "seed=" << seed << " at bit " << i;
+      ASSERT_EQ(serial.healthy(), batch.healthy()) << "seed=" << seed;
+      ASSERT_EQ(serial.rct().alarmed(), batch.rct().alarmed())
+          << "seed=" << seed;
+      ASSERT_EQ(serial.apt().alarmed(), batch.apt().alarmed())
+          << "seed=" << seed;
+      i += nbits;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dhtrng::stats

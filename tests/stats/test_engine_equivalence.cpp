@@ -1,0 +1,125 @@
+// Smoke version of the engine differential: a handful of streams checked
+// for exact Scalar/Wordwise equality in the default ctest lane.  The full
+// >=100-stream fuzz corpus lives in test_engine_differential.cpp (label:
+// slow).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/fips140.h"
+#include "stats/health.h"
+#include "stats/sp800_22.h"
+#include "stats/sp800_90b.h"
+#include "stats/stats_config.h"
+#include "support/bitstream.h"
+#include "support/rng.h"
+
+namespace dhtrng::stats {
+namespace {
+
+using support::BitStream;
+
+BitStream make_stream(std::uint64_t seed, std::size_t n) {
+  support::SplitMix64 rng(seed);
+  BitStream bits;
+  bits.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (seed % 3) {
+      case 0: bits.push_back((rng.next() % 100) < 55); break;
+      case 1: bits.push_back(rng.next() & 1); break;
+      default: bits.push_back((i % 7 < 3) ^ ((rng.next() & 0xff) < 16)); break;
+    }
+  }
+  return bits;
+}
+
+TEST(EngineEquivalence, Sp800_22Exact) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const BitStream bits = make_stream(seed, 30000 + seed * 517);
+    std::vector<sp800_22::TestResult> scalar, wordwise;
+    {
+      ScopedEngine guard(Engine::Scalar);
+      scalar = sp800_22::run_all(bits);
+    }
+    {
+      ScopedEngine guard(Engine::Wordwise);
+      wordwise = sp800_22::run_all(bits);
+    }
+    ASSERT_EQ(scalar.size(), wordwise.size());
+    for (std::size_t t = 0; t < scalar.size(); ++t) {
+      SCOPED_TRACE(testing::Message()
+                   << "seed=" << seed << " test=" << scalar[t].name);
+      EXPECT_EQ(scalar[t].applicable, wordwise[t].applicable);
+      ASSERT_EQ(scalar[t].p_values.size(), wordwise[t].p_values.size());
+      for (std::size_t k = 0; k < scalar[t].p_values.size(); ++k) {
+        EXPECT_EQ(scalar[t].p_values[k], wordwise[t].p_values[k])
+            << "sub-test " << k;
+      }
+    }
+  }
+}
+
+TEST(EngineEquivalence, Sp800_90bExact) {
+  const BitStream bits = make_stream(1, 30000);
+  std::vector<sp800_90b::EstimatorResult> scalar, wordwise;
+  {
+    ScopedEngine guard(Engine::Scalar);
+    scalar = sp800_90b::run_all(bits);
+  }
+  {
+    ScopedEngine guard(Engine::Wordwise);
+    wordwise = sp800_90b::run_all(bits);
+  }
+  ASSERT_EQ(scalar.size(), wordwise.size());
+  for (std::size_t t = 0; t < scalar.size(); ++t) {
+    SCOPED_TRACE(scalar[t].name);
+    EXPECT_EQ(scalar[t].p_max, wordwise[t].p_max);
+    EXPECT_EQ(scalar[t].h_min, wordwise[t].h_min);
+  }
+}
+
+TEST(EngineEquivalence, Fips140Exact) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const BitStream bits = make_stream(seed, fips140::kSampleBits);
+    std::vector<fips140::Outcome> scalar, wordwise;
+    {
+      ScopedEngine guard(Engine::Scalar);
+      scalar = fips140::run_all(bits);
+    }
+    {
+      ScopedEngine guard(Engine::Wordwise);
+      wordwise = fips140::run_all(bits);
+    }
+    ASSERT_EQ(scalar.size(), wordwise.size());
+    for (std::size_t t = 0; t < scalar.size(); ++t) {
+      SCOPED_TRACE(scalar[t].name);
+      EXPECT_EQ(scalar[t].pass, wordwise[t].pass);
+      EXPECT_EQ(scalar[t].statistic, wordwise[t].statistic);
+    }
+  }
+}
+
+TEST(EngineEquivalence, HealthFeedWordMatchesPerBitFeeds) {
+  support::SplitMix64 rng(7);
+  HealthMonitor serial(0.9);
+  HealthMonitor batch(0.9);
+  const std::size_t n = 8192;
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t nbits = std::min<std::size_t>(1 + (rng.next() % 64), n - i);
+    std::uint64_t word = 0;
+    bool serial_ok = true;
+    for (std::size_t j = 0; j < nbits; ++j) {
+      const bool bit = (rng.next() % 100) < 62;  // biased enough to alarm
+      if (bit) word |= std::uint64_t{1} << j;
+      serial_ok = serial.feed(bit) && serial_ok;
+    }
+    ASSERT_EQ(serial_ok, batch.feed_word(word, nbits)) << "at bit " << i;
+    ASSERT_EQ(serial.healthy(), batch.healthy());
+    i += nbits;
+  }
+}
+
+}  // namespace
+}  // namespace dhtrng::stats

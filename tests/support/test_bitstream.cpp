@@ -170,5 +170,47 @@ TEST(BitStream, ReserveDoesNotChangeSize) {
   EXPECT_EQ(bs.size(), 0u);
 }
 
+TEST(BitStream, AtMatchesIndexAndThrowsOutOfRange) {
+  Xoshiro256 rng(11);
+  BitStream bs;
+  for (int i = 0; i < 70; ++i) bs.push_back(rng.bernoulli(0.5));
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    EXPECT_EQ(bs.at(i), bs[i]) << "i=" << i;
+  }
+  EXPECT_THROW(bs.at(bs.size()), std::out_of_range);
+  EXPECT_THROW(bs.at(bs.size() + 1000), std::out_of_range);
+  EXPECT_THROW(BitStream().at(0), std::out_of_range);
+}
+
+TEST(BitStream, WordsViewMatchesBitsAndZeroPadsTail) {
+  Xoshiro256 rng(42);
+  // 130 bits: two full words plus a 2-bit tail in the third word.
+  BitStream bs;
+  for (int i = 0; i < 130; ++i) bs.push_back(rng.bernoulli(0.5));
+  const auto words = bs.words();
+  ASSERT_EQ(words.size(), 3u);
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    EXPECT_EQ((words[i >> 6] >> (i & 63)) & 1u, bs[i] ? 1u : 0u) << "i=" << i;
+  }
+  // Invariant the wordwise kernels rely on: bits past size() are zero.
+  EXPECT_EQ(words[2] >> 2, 0u);
+}
+
+TEST(BitStream, WordsTailStaysZeroAfterSet) {
+  BitStream bs(70, true);
+  bs.set(69, false);
+  bs.set(69, true);
+  const auto words = bs.words();
+  ASSERT_EQ(words.size(), 2u);
+  EXPECT_EQ(words[1] >> 6, 0u);
+  EXPECT_EQ(bs.chunk64(64), 0x3fu);
+}
+
+TEST(BitStream, Chunk64AtExactEndIsZero) {
+  BitStream bs(64, true);
+  EXPECT_EQ(bs.chunk64(64), 0u);
+  EXPECT_EQ(bs.chunk64(0), ~std::uint64_t{0});
+}
+
 }  // namespace
 }  // namespace dhtrng::support
