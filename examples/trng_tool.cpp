@@ -5,16 +5,30 @@
 //                      [--post=none|vn|peres|xor4|sha256]
 //   trng_tool evaluate [--device=...] [--bits=N] [--seed=S] [--threads=T]
 //   trng_tool report   [--device=...] [--bits=N] [--seed=S]
+//   trng_tool serve    [--port=P] [--unix=PATH] [--producers=N]
+//                      [--workers=N] [--seed=S] [--device=] [--backend=]
+//                      [--rate-mbps=R] [--max-request=N]
+//   trng_tool fetch    [--host=H] [--port=P] [--unix=PATH] [--bytes=N]
+//                      [--quality=raw|conditioned|drbg] [--format=hex|bin]
+//   trng_tool stats    [--host=H] [--port=P] [--unix=PATH]
 //
 // `generate` writes to stdout; `evaluate` runs the quick statistical
 // screen (bias, ACF, core SP 800-90B estimators, IID permutation test);
-// `report` renders the full characterization report (all suites).
+// `report` renders the full characterization report (all suites);
+// `serve` runs the entropy-as-a-service daemon until SIGINT/SIGTERM;
+// `fetch` and `stats` are protocol clients against a running daemon.
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "core/dhtrng.h"
 #include "core/postprocess.h"
+#include "service/client.h"
+#include "service/entropy_server.h"
 #include "stats/correlation.h"
 #include "stats/report.h"
 #include "stats/sp800_90b.h"
@@ -121,20 +135,122 @@ int cmd_report(int argc, char** argv) {
   return report.all_clear ? 0 : 1;
 }
 
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true, std::memory_order_release); }
+
+int cmd_serve(int argc, char** argv) {
+  service::EntropyServerConfig cfg;
+  cfg.tcp_port = static_cast<std::uint16_t>(
+      std::stoul(flag(argc, argv, "port", "7230")));
+  cfg.unix_path = flag(argc, argv, "unix", "");
+  cfg.pool.producers = std::stoull(flag(argc, argv, "producers", "4"));
+  cfg.worker_threads = std::stoull(flag(argc, argv, "workers", "4"));
+  cfg.pool.seed = std::stoull(flag(argc, argv, "seed", "1"));
+  cfg.max_request_bytes =
+      std::stoull(flag(argc, argv, "max-request", "1048576"));
+  const double rate_mbps = std::stod(flag(argc, argv, "rate-mbps", "0"));
+  cfg.global_rate_bytes_per_s =
+      static_cast<std::uint64_t>(rate_mbps * 1e6 / 8.0);
+
+  core::DhTrngConfig core_cfg;
+  if (flag(argc, argv, "device", "artix7") == "virtex6") {
+    core_cfg.device = fpga::DeviceModel::virtex6();
+  }
+  if (flag(argc, argv, "backend", "fast") == "gate") {
+    core_cfg.backend = core::Backend::GateLevel;
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  auto server = service::EntropyServer::of_dhtrng(cfg, core_cfg);
+  std::printf("entropy service listening on 127.0.0.1:%u%s%s\n",
+              server->tcp_port(),
+              cfg.unix_path.empty() ? "" : " and ",
+              cfg.unix_path.c_str());
+  std::fflush(stdout);
+  while (!g_stop.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("shutting down (state %s)\n",
+              service::service_state_name(server->state()));
+  server->stop();
+  return 0;
+}
+
+service::EntropyClient connect_client(int argc, char** argv) {
+  const std::string unix_path = flag(argc, argv, "unix", "");
+  if (!unix_path.empty()) {
+    return service::EntropyClient::connect_unix(unix_path);
+  }
+  return service::EntropyClient::connect_tcp(
+      flag(argc, argv, "host", "127.0.0.1"),
+      static_cast<std::uint16_t>(
+          std::stoul(flag(argc, argv, "port", "7230"))));
+}
+
+int cmd_fetch(int argc, char** argv) {
+  auto client = connect_client(argc, argv);
+  const auto n = static_cast<std::uint32_t>(
+      std::stoul(flag(argc, argv, "bytes", "32")));
+  const std::string quality_str = flag(argc, argv, "quality", "conditioned");
+  const auto quality = service::quality_from_name(quality_str);
+  if (!quality) {
+    std::fprintf(stderr, "unknown --quality=%s\n", quality_str.c_str());
+    return 2;
+  }
+  const auto result = client.fetch(n, *quality);
+  if (!result.ok()) {
+    std::fprintf(stderr, "fetch refused: %s (%s)\n",
+                 service::status_name(result.status),
+                 result.detail.c_str());
+    return 1;
+  }
+  if (result.degraded) {
+    std::fprintf(stderr,
+                 "warning: service is DEGRADED (DRBG fallback output)\n");
+  }
+  if (flag(argc, argv, "format", "hex") == "bin") {
+    std::fwrite(result.bytes.data(), 1, result.bytes.size(), stdout);
+  } else {
+    for (std::size_t i = 0; i < result.bytes.size(); ++i) {
+      std::printf("%02x", result.bytes[i]);
+      if (i % 32 == 31) std::fputc('\n', stdout);
+    }
+    if (result.bytes.size() % 32 != 0) std::fputc('\n', stdout);
+  }
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  auto client = connect_client(argc, argv);
+  std::fputs(client.stats().c_str(), stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s generate|evaluate|report [--device=] [--bits=] "
-                 "[--seed=] [--backend=] [--format=] [--post=]\n",
+                 "usage: %s generate|evaluate|report|serve|fetch|stats "
+                 "[--device=] [--bits=] [--seed=] [--backend=] [--format=] "
+                 "[--post=] [--port=] [--unix=] [--bytes=] [--quality=]\n",
                  argv[0]);
     return 2;
   }
   const std::string cmd = argv[1];
-  if (cmd == "generate") return cmd_generate(argc, argv);
-  if (cmd == "evaluate") return cmd_evaluate(argc, argv);
-  if (cmd == "report") return cmd_report(argc, argv);
+  try {
+    if (cmd == "generate") return cmd_generate(argc, argv);
+    if (cmd == "evaluate") return cmd_evaluate(argc, argv);
+    if (cmd == "report") return cmd_report(argc, argv);
+    if (cmd == "serve") return cmd_serve(argc, argv);
+    if (cmd == "fetch") return cmd_fetch(argc, argv);
+    if (cmd == "stats") return cmd_stats(argc, argv);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "%s: %s\n", cmd.c_str(), ex.what());
+    return 1;
+  }
   std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
   return 2;
 }

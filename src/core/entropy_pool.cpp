@@ -100,6 +100,7 @@ void EntropyPool::producer_loop(std::size_t index) {
       }
       st.source = factory_(index, derived_seed(index, ++st.reseed_sequence));
       st.monitor.reset();
+      reseeds_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
 
@@ -138,12 +139,36 @@ std::size_t EntropyPool::healthy_producers() const {
   return healthy;
 }
 
+std::size_t EntropyPool::retired_producers() const {
+  return retired_count_.load(std::memory_order_acquire);
+}
+
+bool EntropyPool::exhausted() const {
+  return retired_producers() == states_.size();
+}
+
 std::uint64_t EntropyPool::quarantine_events() const {
   return quarantines_.load(std::memory_order_relaxed);
 }
 
+std::uint64_t EntropyPool::reseed_events() const {
+  return reseeds_.load(std::memory_order_relaxed);
+}
+
 std::uint64_t EntropyPool::bytes_produced() const {
   return bytes_produced_.load(std::memory_order_relaxed);
+}
+
+PoolHealthSnapshot EntropyPool::snapshot() const {
+  PoolHealthSnapshot snap;
+  snap.producers = states_.size();
+  snap.retired = retired_producers();
+  snap.healthy = snap.producers - snap.retired;
+  snap.quarantines = quarantine_events();
+  snap.reseeds = reseed_events();
+  snap.bytes_produced = bytes_produced();
+  snap.exhausted = snap.retired == snap.producers;
+  return snap;
 }
 
 }  // namespace dhtrng::core

@@ -53,6 +53,21 @@ struct EntropyExhausted : std::runtime_error {
       "EntropyPool: all producers unhealthy, refusing to emit bytes") {}
 };
 
+/// One coherent view of the pool's failure-policy counters, for consumers
+/// that gate their own behaviour on pool health (service::EntropyServer's
+/// degradation ladder, the STATS admin command).  Counters are sampled
+/// individually from atomics — the snapshot is eventually consistent, not
+/// a transaction.
+struct PoolHealthSnapshot {
+  std::size_t producers = 0;        ///< configured producer count
+  std::size_t healthy = 0;          ///< producers not permanently retired
+  std::size_t retired = 0;          ///< producers retired for good
+  std::uint64_t quarantines = 0;    ///< health alarms (block discarded)
+  std::uint64_t reseeds = 0;        ///< quarantines cured by a rebuild
+  std::uint64_t bytes_produced = 0; ///< bytes that passed the health gate
+  bool exhausted = false;           ///< every producer retired
+};
+
 class EntropyPool {
  public:
   /// Builds the TrngSource for producer `index`; called again with a fresh
@@ -85,10 +100,20 @@ class EntropyPool {
   std::size_t producers() const { return states_.size(); }
   /// Producers not permanently retired.
   std::size_t healthy_producers() const;
-  /// Total health alarms observed (each triggers a quarantine + reseed).
+  /// Producers permanently retired.
+  std::size_t retired_producers() const;
+  /// True once every producer has been retired (get_bytes() will throw as
+  /// soon as the buffered remainder drains).
+  bool exhausted() const;
+  /// Total health alarms observed (each triggers a quarantine + reseed,
+  /// or the retirement once `max_reseeds` is exceeded).
   std::uint64_t quarantine_events() const;
+  /// Quarantines that ended in a rebuild (quarantines minus retirements).
+  std::uint64_t reseed_events() const;
   /// Bytes that passed the health gate into the buffer.
   std::uint64_t bytes_produced() const;
+  /// All of the above in one struct (see PoolHealthSnapshot).
+  PoolHealthSnapshot snapshot() const;
 
  private:
   struct ProducerState {
@@ -112,6 +137,7 @@ class EntropyPool {
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> retired_count_{0};
   std::atomic<std::uint64_t> quarantines_{0};
+  std::atomic<std::uint64_t> reseeds_{0};
   std::atomic<std::uint64_t> bytes_produced_{0};
 };
 

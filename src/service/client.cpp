@@ -1,0 +1,85 @@
+#include "service/client.h"
+
+namespace dhtrng::service {
+
+namespace {
+
+/// Responses can be at most the requested bytes plus the headers; anything
+/// past this is a framing violation, not a big response.  (The cap only
+/// guards the client against a runaway peer — the server enforces its own
+/// per-request budget.)
+constexpr std::size_t kMaxResponsePayload = (1u << 26) + 64;
+
+}  // namespace
+
+EntropyClient EntropyClient::connect_tcp(const std::string& host,
+                                         std::uint16_t port) {
+  Socket sock = service::connect_tcp(host, port);
+  if (!sock.valid()) {
+    throw std::runtime_error("EntropyClient: cannot connect to " + host +
+                             ":" + std::to_string(port));
+  }
+  return EntropyClient(std::move(sock));
+}
+
+EntropyClient EntropyClient::connect_unix(const std::string& path) {
+  Socket sock = service::connect_unix(path);
+  if (!sock.valid()) {
+    throw std::runtime_error("EntropyClient: cannot connect to " + path);
+  }
+  return EntropyClient(std::move(sock));
+}
+
+Response EntropyClient::roundtrip(const std::vector<std::uint8_t>& frame) {
+  if (!sock_.write_all(frame.data(), frame.size())) {
+    throw ProtocolError("connection lost while sending request");
+  }
+  std::uint8_t header[kLenPrefixBytes];
+  if (!sock_.read_exact(header, sizeof(header))) {
+    throw ProtocolError("connection closed before a response arrived");
+  }
+  const std::uint32_t len = read_u32le(header);
+  if (len < kResponseHeaderBytes || len > kMaxResponsePayload) {
+    throw ProtocolError("response frame length out of range: " +
+                        std::to_string(len));
+  }
+  std::vector<std::uint8_t> payload(len);
+  if (!sock_.read_exact(payload.data(), payload.size())) {
+    throw ProtocolError("connection closed mid-response");
+  }
+  Response response;
+  if (!decode_response_payload(payload.data(), payload.size(), response)) {
+    throw ProtocolError("malformed response payload");
+  }
+  return response;
+}
+
+EntropyClient::FetchResult EntropyClient::fetch(std::uint32_t n,
+                                                Quality quality) {
+  const Response response = roundtrip(encode_get_request(quality, n));
+  FetchResult result;
+  result.status = response.status;
+  result.degraded = response.degraded();
+  if (response.status == Status::Ok) {
+    if (response.payload.size() != n) {
+      throw ProtocolError("Ok response carries " +
+                          std::to_string(response.payload.size()) +
+                          " bytes, requested " + std::to_string(n));
+    }
+    result.bytes = response.payload;
+  } else {
+    result.detail = response.text();
+  }
+  return result;
+}
+
+std::string EntropyClient::stats() {
+  const Response response = roundtrip(encode_stats_request());
+  if (response.status != Status::Ok) {
+    throw ProtocolError(std::string("STATS refused: ") +
+                        status_name(response.status));
+  }
+  return response.text();
+}
+
+}  // namespace dhtrng::service

@@ -1,0 +1,64 @@
+// Blocking client for the entropy service protocol — used by the
+// trng_tool fetch/stats subcommands, the loopback benchmarks, and the
+// integration tests.  One request in flight at a time (the protocol is
+// strictly request/response per connection).
+//
+// Transport failures and framing violations throw ProtocolError; protocol-
+// level refusals (rate limit, exhaustion, ...) come back as a normal
+// FetchResult with the structured status and detail text, because they are
+// part of the documented failure policy, not errors in the conversation.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "service/protocol.h"
+#include "service/socket.h"
+
+namespace dhtrng::service {
+
+/// The peer broke the conversation: disconnect mid-frame, an inconsistent
+/// frame, or a response that does not match the request.
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class EntropyClient {
+ public:
+  /// Throws std::runtime_error when the connection cannot be established.
+  static EntropyClient connect_tcp(const std::string& host,
+                                   std::uint16_t port);
+  static EntropyClient connect_unix(const std::string& path);
+
+  struct FetchResult {
+    Status status = Status::Ok;
+    bool degraded = false;           ///< kFlagDegraded set by the server
+    std::vector<std::uint8_t> bytes; ///< entropy (Ok only)
+    std::string detail;              ///< structured error text (non-Ok)
+
+    bool ok() const { return status == Status::Ok; }
+  };
+
+  /// Request `n` bytes at `quality`.  On Status::Ok the result carries
+  /// exactly `n` bytes (anything else is a ProtocolError).
+  FetchResult fetch(std::uint32_t n, Quality quality = Quality::Raw);
+
+  /// Plaintext metrics dump from the STATS admin command.
+  std::string stats();
+
+  void close() { sock_.close(); }
+  bool connected() const { return sock_.valid(); }
+
+ private:
+  explicit EntropyClient(Socket sock) : sock_(std::move(sock)) {}
+
+  Response roundtrip(const std::vector<std::uint8_t>& frame);
+
+  Socket sock_;
+};
+
+}  // namespace dhtrng::service

@@ -1,0 +1,285 @@
+#include "service/entropy_server.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <sys/socket.h>
+#include <utility>
+
+#include "support/sha256.h"
+
+namespace dhtrng::service {
+
+bool EntropyServer::PoolSource::next_bit() {
+  if (bit_ == buf_.size() * 8) {
+    buf_ = pool_.get_bytes(64);  // throws EntropyExhausted when pool is gone
+    bit_ = 0;
+  }
+  const std::uint8_t byte = buf_[bit_ / 8];
+  const bool bit = ((byte >> (7 - bit_ % 8)) & 1u) != 0;
+  ++bit_;
+  return bit;
+}
+
+EntropyServer::EntropyServer(EntropyServerConfig config,
+                             core::EntropyPool::SourceFactory factory)
+    : config_(std::move(config)),
+      pool_(config_.pool, std::move(factory)),
+      global_bucket_(config_.global_rate_bytes_per_s,
+                     config_.global_burst_bytes, config_.clock) {
+  if (config_.degraded_after_retired == 0) config_.degraded_after_retired = 1;
+  if (config_.enable_tcp) {
+    listeners_.push_back(Listener::tcp_loopback(config_.tcp_port));
+    tcp_port_ = listeners_.back().port();
+  }
+  if (!config_.unix_path.empty()) {
+    listeners_.push_back(Listener::unix_domain(config_.unix_path));
+  }
+  if (listeners_.empty()) {
+    throw std::invalid_argument("EntropyServer: no listeners configured");
+  }
+  workers_ = std::make_unique<support::ThreadPool>(config_.worker_threads);
+  // Listener addresses must be stable before the loops capture them — no
+  // listeners_ growth past this point.
+  accept_threads_.reserve(listeners_.size());
+  for (auto& listener : listeners_) {
+    accept_threads_.emplace_back([this, &listener] { accept_loop(listener); });
+  }
+}
+
+std::unique_ptr<EntropyServer> EntropyServer::of_dhtrng(
+    EntropyServerConfig config, core::DhTrngConfig core) {
+  return std::make_unique<EntropyServer>(
+      std::move(config),
+      [core](std::size_t, std::uint64_t seed)
+          -> std::unique_ptr<core::TrngSource> {
+        core::DhTrngConfig per_producer = core;
+        per_producer.seed = seed;
+        return std::make_unique<core::DhTrng>(per_producer);
+      });
+}
+
+EntropyServer::~EntropyServer() { stop(); }
+
+void EntropyServer::stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  for (auto& listener : listeners_) listener.close();
+  for (auto& thread : accept_threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  // Closing the pool wakes workers blocked in get_bytes (they observe
+  // EntropyExhausted and answer with a structured error)...
+  pool_.stop();
+  // ...and shutting the sockets down wakes workers blocked in read_exact
+  // waiting for a client's next request.
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  workers_.reset();  // drains queued connection tasks, joins the workers
+}
+
+ServiceState EntropyServer::state() const {
+  const core::PoolHealthSnapshot snap = pool_.snapshot();
+  if (snap.healthy == 0) return ServiceState::Exhausted;
+  if (snap.retired >= config_.degraded_after_retired) {
+    return ServiceState::Degraded;
+  }
+  return ServiceState::Healthy;
+}
+
+void EntropyServer::register_connection(int fd) {
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  conn_fds_.push_back(fd);
+}
+
+void EntropyServer::unregister_connection(int fd) {
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                  conn_fds_.end());
+}
+
+void EntropyServer::accept_loop(Listener& listener) {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::optional<Socket> accepted = listener.accept(50);
+    if (!accepted) continue;
+    metrics_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    // Claim a slot atomically; over the cap, answer Busy and close so the
+    // client gets a structured reason instead of a hang in the queue.
+    const std::uint64_t slot = metrics_.connections_active.fetch_add(
+        1, std::memory_order_acq_rel);
+    if (slot >= config_.max_connections) {
+      metrics_.connections_active.fetch_sub(1, std::memory_order_acq_rel);
+      metrics_.count_error(Status::Busy);
+      const auto frame =
+          encode_error_frame(Status::Busy, "connection slots full");
+      (void)accepted->write_all(frame.data(), frame.size());
+      continue;  // Socket destructor closes the connection
+    }
+    auto sock = std::make_shared<Socket>(std::move(*accepted));
+    register_connection(sock->fd());
+    workers_->submit([this, sock] { handle_connection(sock); });
+  }
+}
+
+void EntropyServer::handle_connection(std::shared_ptr<Socket> sock) {
+  TokenBucket conn_bucket(config_.per_conn_rate_bytes_per_s,
+                          config_.per_conn_burst_bytes, config_.clock);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::uint8_t header[kLenPrefixBytes];
+    if (!sock->read_exact(header, sizeof(header))) break;  // client left
+    const std::uint32_t len = read_u32le(header);
+    if (len == 0 || len > kMaxRequestPayload) {
+      // Zero-length or oversized request frame: the stream cannot be
+      // trusted past this point, so answer with a structured error and
+      // close.
+      metrics_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      metrics_.count_error(Status::BadRequest);
+      const auto frame = encode_error_frame(
+          Status::BadRequest,
+          len == 0 ? "zero-length frame" : "request frame too large");
+      (void)sock->write_all(frame.data(), frame.size());
+      break;
+    }
+    std::vector<std::uint8_t> payload(len);
+    if (!sock->read_exact(payload.data(), payload.size())) {
+      // Disconnect mid-frame: nobody left to answer.
+      metrics_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    Request request;
+    const DecodeError err =
+        decode_request(payload.data(), payload.size(), request);
+    if (err != DecodeError::None) {
+      metrics_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      metrics_.count_error(Status::BadRequest);
+      const auto frame =
+          encode_error_frame(Status::BadRequest, decode_error_name(err));
+      (void)sock->write_all(frame.data(), frame.size());
+      break;
+    }
+    const Response response = serve_request(request, conn_bucket);
+    const auto frame =
+        encode_response_frame(response.status, response.flags,
+                              response.payload);
+    if (!sock->write_all(frame.data(), frame.size())) break;
+  }
+  unregister_connection(sock->fd());
+  sock->close();
+  metrics_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+  metrics_.connections_active.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+Response EntropyServer::serve_request(const Request& request,
+                                      TokenBucket& conn_bucket) {
+  Response response;
+  const auto error = [&](Status status, const std::string& detail) {
+    response.status = status;
+    response.payload.assign(detail.begin(), detail.end());
+    metrics_.count_error(status);
+    return response;
+  };
+
+  if (request.op == Opcode::Stats) {
+    metrics_.stats_requests.fetch_add(1, std::memory_order_relaxed);
+    const std::string text =
+        render_stats(metrics_, state(), pool_.snapshot());
+    response.payload.assign(text.begin(), text.end());
+    return response;
+  }
+
+  const std::size_t n = request.n_bytes;
+  if (stopping_.load(std::memory_order_acquire)) {
+    return error(Status::ShuttingDown, "server stopping");
+  }
+  if (n > config_.max_request_bytes) {
+    return error(Status::TooLarge, "request above per-request byte budget");
+  }
+  if (!conn_bucket.try_acquire(n)) {
+    return error(Status::RateLimited, "per-connection rate limit");
+  }
+  if (!global_bucket_.try_acquire(n)) {
+    return error(Status::RateLimited, "global rate limit");
+  }
+
+  const ServiceState st = state();
+  if (st == ServiceState::Exhausted) {
+    // Fail closed: no live noise source behind the service, so refuse —
+    // even though gated bytes may remain buffered and the fallback DRBG
+    // could keep stretching its last seed.
+    return error(Status::Exhausted, "all entropy producers retired");
+  }
+  try {
+    if (st == ServiceState::Degraded) {
+      response.payload = draw_degraded(n);
+      response.flags |= kFlagDegraded;
+    } else {
+      response.payload = draw(request.quality, n);
+    }
+  } catch (const core::EntropyExhausted&) {
+    return error(Status::Exhausted, "entropy pool exhausted mid-request");
+  }
+  metrics_.count_served(request.quality, n, response.degraded());
+  return response;
+}
+
+std::vector<std::uint8_t> EntropyServer::draw(Quality quality,
+                                              std::size_t n) {
+  switch (quality) {
+    case Quality::Raw:
+      return pool_.get_bytes(n);
+    case Quality::Conditioned: {
+      // Vetted conditioning (SP 800-90B 3.1.5.1.2): SHA-256 over 64-byte
+      // pool blocks, 2:1 compression — 512 health-gated input bits per
+      // 256 output bits.
+      std::vector<std::uint8_t> out;
+      out.reserve(n);
+      while (out.size() < n) {
+        const auto digest = support::Sha256::hash(pool_.get_bytes(64));
+        const std::size_t take =
+            std::min<std::size_t>(digest.size(), n - out.size());
+        out.insert(out.end(), digest.begin(),
+                   digest.begin() + static_cast<std::ptrdiff_t>(take));
+      }
+      return out;
+    }
+    case Quality::Drbg: {
+      std::lock_guard<std::mutex> lock(drbg_mutex_);
+      return drbg_locked().generate(n);
+    }
+  }
+  throw std::invalid_argument("EntropyServer: unknown quality");
+}
+
+std::vector<std::uint8_t> EntropyServer::draw_degraded(std::size_t n) {
+  std::lock_guard<std::mutex> lock(drbg_mutex_);
+  const bool instantiating = drbg_ == nullptr;
+  core::HmacDrbg& drbg = drbg_locked();
+  if (instantiating) {
+    // Lazy instantiation inside DEGRADED is itself the re-key from the
+    // surviving producers the ladder promises.
+    metrics_.drbg_fallback_reseeds.fetch_add(1, std::memory_order_relaxed);
+    return drbg.generate(n);
+  }
+  // Every pool quarantine since the last reseed means the producer set
+  // changed under us: re-key from the surviving producers before serving.
+  const std::uint64_t quarantines = pool_.quarantine_events();
+  if (quarantines != reseed_watermark_) {
+    drbg.reseed();
+    reseed_watermark_ = quarantines;
+    metrics_.drbg_fallback_reseeds.fetch_add(1, std::memory_order_relaxed);
+  }
+  return drbg.generate(n);
+}
+
+core::HmacDrbg& EntropyServer::drbg_locked() {
+  if (!drbg_) {
+    const std::string pers = "dhtrng-entropy-service";
+    drbg_ = std::make_unique<core::HmacDrbg>(
+        pool_source_, config_.drbg,
+        std::vector<std::uint8_t>(pers.begin(), pers.end()));
+    reseed_watermark_ = pool_.quarantine_events();
+  }
+  return *drbg_;
+}
+
+}  // namespace dhtrng::service

@@ -1,0 +1,180 @@
+// Entropy-as-a-service daemon: the deliverable end of the DH-TRNG stack.
+// Serves health-gated pool bytes (RAW), SHA-256 2:1 conditioned bytes
+// (CONDITIONED), and SP 800-90A HMAC_DRBG output (DRBG) over the
+// length-prefixed protocol in service/protocol.h, on TCP loopback and/or
+// Unix-domain listeners.  One accept loop per listener; each accepted
+// connection is handled sequentially by a worker task on the shared
+// support::ThreadPool (requests on one connection are answered in order,
+// so response frames can never interleave).
+//
+// Failure policy (the SP 800-90B section 4.3 deployment behaviour, wired
+// to core::EntropyPool's quarantine/reseed/retire state machine):
+//
+//   HEALTHY    fewer than `degraded_after_retired` producers retired —
+//              every quality is served from live pool output.
+//   DEGRADED   at least `degraded_after_retired` producers retired but
+//              survivors remain — all qualities transparently fall back
+//              to the HMAC_DRBG (reseeded from the surviving producers on
+//              every pool quarantine event) and every response is flagged
+//              kFlagDegraded so the client can apply its own policy.
+//   EXHAUSTED  every producer retired — the service fails closed: GET
+//              returns a structured Status::Exhausted error (even though
+//              the fallback DRBG could keep stretching its last seed, and
+//              even if health-gated bytes remain buffered) instead of
+//              hanging or serving entropy with no live noise source
+//              behind it.
+//
+// Backpressure: per-request byte cap (`max_request_bytes`), a global and
+// a per-connection token bucket (Status::RateLimited, all-or-nothing so
+// byte accounting stays exact), and a connection-slot cap (Status::Busy
+// sent on the freshly accepted socket, which is then closed).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dhtrng.h"
+#include "core/drbg.h"
+#include "core/entropy_pool.h"
+#include "service/metrics.h"
+#include "service/protocol.h"
+#include "service/rate_limiter.h"
+#include "service/socket.h"
+#include "support/thread_pool.h"
+
+namespace dhtrng::service {
+
+struct EntropyServerConfig {
+  /// TCP listener on 127.0.0.1 (0 = kernel-assigned ephemeral port, see
+  /// tcp_port()); set `enable_tcp` false to disable.
+  bool enable_tcp = true;
+  std::uint16_t tcp_port = 0;
+  /// Unix-domain listener path; empty = disabled.
+  std::string unix_path;
+
+  /// Connection workers (the per-connection concurrency ceiling).
+  std::size_t worker_threads = 4;
+  /// Accepted-but-unserved connections beyond this get Status::Busy.
+  std::size_t max_connections = 64;
+  /// Per-request byte budget; larger GETs get Status::TooLarge.
+  std::size_t max_request_bytes = 1 << 20;
+
+  /// Token buckets (bytes); a rate of 0 disables that bucket.
+  std::uint64_t global_rate_bytes_per_s = 0;
+  std::uint64_t global_burst_bytes = 1 << 20;
+  std::uint64_t per_conn_rate_bytes_per_s = 0;
+  std::uint64_t per_conn_burst_bytes = 1 << 16;
+
+  /// Retired producers at or above which the ladder reads DEGRADED.
+  std::size_t degraded_after_retired = 1;
+
+  /// DRBG parameters for the Drbg quality and the DEGRADED fallback
+  /// (reseed_interval controls how often generate calls pull fresh pool
+  /// entropy on their own, on top of the per-quarantine reseeds).
+  core::HmacDrbgConfig drbg;
+
+  /// The entropy pool this server fronts.
+  core::EntropyPoolConfig pool;
+
+  /// Injectable monotonic clock for the token buckets (tests).
+  TokenBucket::Clock clock;
+};
+
+class EntropyServer {
+ public:
+  /// Starts the pool, the listeners and the accept loops.  `factory`
+  /// builds the pool's producers (see EntropyPool::SourceFactory) — the
+  /// fault-injection tests drive the degradation ladder through it.
+  EntropyServer(EntropyServerConfig config,
+                core::EntropyPool::SourceFactory factory);
+
+  /// Convenience: a server over a pool of DhTrng producers.
+  static std::unique_ptr<EntropyServer> of_dhtrng(EntropyServerConfig config,
+                                                  core::DhTrngConfig core = {});
+
+  ~EntropyServer();
+
+  EntropyServer(const EntropyServer&) = delete;
+  EntropyServer& operator=(const EntropyServer&) = delete;
+
+  /// Stop accepting, stop the pool, unblock and drain every connection
+  /// worker; idempotent (the destructor calls it).
+  void stop();
+
+  /// Actual TCP port (after ephemeral binding); 0 if TCP is disabled.
+  std::uint16_t tcp_port() const { return tcp_port_; }
+  const std::string& unix_path() const { return config_.unix_path; }
+
+  /// Current degradation-ladder state, derived from pool health.
+  ServiceState state() const;
+
+  const Metrics& metrics() const { return metrics_; }
+  std::size_t active_connections() const {
+    return static_cast<std::size_t>(
+        metrics_.connections_active.load(std::memory_order_acquire));
+  }
+  core::PoolHealthSnapshot pool_snapshot() const { return pool_.snapshot(); }
+
+ private:
+  /// TrngSource view of the pool, for seeding/reseeding the DRBG from the
+  /// surviving producers (bits are pool bytes, MSB-first like
+  /// EntropyPool's own packing).
+  class PoolSource final : public core::TrngSource {
+   public:
+    explicit PoolSource(core::EntropyPool& pool) : pool_(pool) {}
+    std::string name() const override { return "entropy-pool"; }
+    bool next_bit() override;
+    void restart() override {}
+    sim::ResourceCounts resources() const override { return {}; }
+    double clock_mhz() const override { return 0.0; }
+    fpga::ActivityEstimate activity() const override { return {}; }
+
+   private:
+    core::EntropyPool& pool_;
+    std::vector<std::uint8_t> buf_;
+    std::size_t bit_ = 0;
+  };
+
+  void accept_loop(Listener& listener);
+  void handle_connection(std::shared_ptr<Socket> sock);
+  Response serve_request(const Request& request, TokenBucket& conn_bucket);
+  /// Draw `n` bytes at `quality`; throws core::EntropyExhausted.
+  std::vector<std::uint8_t> draw(Quality quality, std::size_t n);
+  /// DEGRADED path: DRBG output, reseeding when pool health changed.
+  std::vector<std::uint8_t> draw_degraded(std::size_t n);
+  /// DRBG access (lazy instantiation) under drbg_mutex_.
+  core::HmacDrbg& drbg_locked();
+
+  void register_connection(int fd);
+  void unregister_connection(int fd);
+
+  EntropyServerConfig config_;
+  core::EntropyPool pool_;
+  Metrics metrics_;
+
+  PoolSource pool_source_{pool_};
+  std::mutex drbg_mutex_;
+  std::unique_ptr<core::HmacDrbg> drbg_;
+  std::uint64_t reseed_watermark_ = 0;  ///< pool quarantines at last reseed
+
+  TokenBucket global_bucket_;
+  std::atomic<bool> stopping_{false};
+
+  std::vector<Listener> listeners_;
+  std::uint16_t tcp_port_ = 0;
+  std::vector<std::thread> accept_threads_;
+
+  std::mutex conn_mutex_;
+  std::vector<int> conn_fds_;  ///< open connection fds, for stop() wakeups
+
+  /// Last member: its destructor drains queued connection tasks, which
+  /// still touch everything above.
+  std::unique_ptr<support::ThreadPool> workers_;
+};
+
+}  // namespace dhtrng::service

@@ -1,0 +1,96 @@
+#include "service/metrics.h"
+
+#include <sstream>
+
+namespace dhtrng::service {
+
+const char* service_state_name(ServiceState state) {
+  switch (state) {
+    case ServiceState::Healthy: return "HEALTHY";
+    case ServiceState::Degraded: return "DEGRADED";
+    case ServiceState::Exhausted: return "EXHAUSTED";
+  }
+  return "UNKNOWN";
+}
+
+void Metrics::count_served(Quality quality, std::uint64_t n, bool degraded) {
+  bytes_served_total.fetch_add(n, std::memory_order_relaxed);
+  switch (quality) {
+    case Quality::Raw:
+      bytes_served_raw.fetch_add(n, std::memory_order_relaxed);
+      break;
+    case Quality::Conditioned:
+      bytes_served_conditioned.fetch_add(n, std::memory_order_relaxed);
+      break;
+    case Quality::Drbg:
+      bytes_served_drbg.fetch_add(n, std::memory_order_relaxed);
+      break;
+  }
+  if (degraded) {
+    responses_degraded.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    responses_ok.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Metrics::count_error(Status status) {
+  switch (status) {
+    case Status::Exhausted:
+      responses_exhausted.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Status::RateLimited:
+      responses_rate_limited.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Status::BadRequest:
+      responses_bad_request.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Status::TooLarge:
+      responses_too_large.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Status::Busy:
+      responses_busy.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Status::ShuttingDown:
+      responses_shutting_down.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Status::Ok:
+      break;  // not an error; counted by count_served
+  }
+}
+
+std::string render_stats(const Metrics& m, ServiceState state,
+                         const core::PoolHealthSnapshot& pool) {
+  const auto v = [](const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  std::ostringstream out;
+  out << "state " << service_state_name(state) << '\n'
+      << "bytes_served_total " << v(m.bytes_served_total) << '\n'
+      << "bytes_served_raw " << v(m.bytes_served_raw) << '\n'
+      << "bytes_served_conditioned " << v(m.bytes_served_conditioned) << '\n'
+      << "bytes_served_drbg " << v(m.bytes_served_drbg) << '\n'
+      << "responses_ok " << v(m.responses_ok) << '\n'
+      << "responses_degraded " << v(m.responses_degraded) << '\n'
+      << "responses_exhausted " << v(m.responses_exhausted) << '\n'
+      << "responses_rate_limited " << v(m.responses_rate_limited) << '\n'
+      << "responses_bad_request " << v(m.responses_bad_request) << '\n'
+      << "responses_too_large " << v(m.responses_too_large) << '\n'
+      << "responses_busy " << v(m.responses_busy) << '\n'
+      << "responses_shutting_down " << v(m.responses_shutting_down) << '\n'
+      << "stats_requests " << v(m.stats_requests) << '\n'
+      << "protocol_errors " << v(m.protocol_errors) << '\n'
+      << "connections_accepted " << v(m.connections_accepted) << '\n'
+      << "connections_closed " << v(m.connections_closed) << '\n'
+      << "connections_active " << v(m.connections_active) << '\n'
+      << "drbg_fallback_reseeds " << v(m.drbg_fallback_reseeds) << '\n'
+      << "pool_producers " << pool.producers << '\n'
+      << "pool_healthy " << pool.healthy << '\n'
+      << "pool_retired " << pool.retired << '\n'
+      << "pool_quarantines " << pool.quarantines << '\n'
+      << "pool_reseeds " << pool.reseeds << '\n'
+      << "pool_bytes_produced " << pool.bytes_produced << '\n'
+      << "pool_exhausted " << (pool.exhausted ? 1 : 0) << '\n';
+  return out.str();
+}
+
+}  // namespace dhtrng::service

@@ -1,0 +1,69 @@
+// Atomic metrics registry behind the STATS admin command.  Every counter
+// is a relaxed atomic — the registry never synchronizes the data path, it
+// only observes it — and render_stats() emits the plaintext
+// "key value\n" dump that admin tooling (trng_tool stats) and the
+// degradation-ladder tests consume.
+//
+// Counter semantics the tests rely on:
+//  * responses_ok counts unflagged Ok GET responses; responses_degraded
+//    counts Ok GET responses flagged kFlagDegraded — a GET lands in
+//    exactly one responses_* bucket;
+//  * bytes_served_* count entropy bytes actually shipped (rejected and
+//    error responses ship zero);
+//  * connections_active is a gauge and must return to zero when every
+//    client is gone (the protocol tests assert the slot count drains).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "core/entropy_pool.h"
+#include "service/protocol.h"
+
+namespace dhtrng::service {
+
+/// The degradation-ladder state the server derives from pool health.
+enum class ServiceState { Healthy, Degraded, Exhausted };
+
+const char* service_state_name(ServiceState state);
+
+struct Metrics {
+  // Entropy actually shipped, total and per requested quality.
+  std::atomic<std::uint64_t> bytes_served_total{0};
+  std::atomic<std::uint64_t> bytes_served_raw{0};
+  std::atomic<std::uint64_t> bytes_served_conditioned{0};
+  std::atomic<std::uint64_t> bytes_served_drbg{0};
+
+  // GET responses by outcome (exactly one bucket per response).
+  std::atomic<std::uint64_t> responses_ok{0};
+  std::atomic<std::uint64_t> responses_degraded{0};
+  std::atomic<std::uint64_t> responses_exhausted{0};
+  std::atomic<std::uint64_t> responses_rate_limited{0};
+  std::atomic<std::uint64_t> responses_bad_request{0};
+  std::atomic<std::uint64_t> responses_too_large{0};
+  std::atomic<std::uint64_t> responses_busy{0};
+  std::atomic<std::uint64_t> responses_shutting_down{0};
+
+  std::atomic<std::uint64_t> stats_requests{0};
+  std::atomic<std::uint64_t> protocol_errors{0};
+
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> connections_closed{0};
+  std::atomic<std::uint64_t> connections_active{0};  // gauge
+
+  /// Fallback-DRBG reseeds triggered by entering/serving DEGRADED.
+  std::atomic<std::uint64_t> drbg_fallback_reseeds{0};
+
+  /// Attribute an Ok GET response's bytes to its quality bucket.
+  void count_served(Quality quality, std::uint64_t n, bool degraded);
+  /// Attribute a non-Ok GET response to its status bucket.
+  void count_error(Status status);
+};
+
+/// Plaintext dump: one "key value" line per counter, plus the ladder state
+/// and the pool-health snapshot.
+std::string render_stats(const Metrics& metrics, ServiceState state,
+                         const core::PoolHealthSnapshot& pool);
+
+}  // namespace dhtrng::service

@@ -1,0 +1,141 @@
+#include "service/protocol.h"
+
+#include <cstring>
+
+namespace dhtrng::service {
+
+const char* status_name(Status status) {
+  switch (status) {
+    case Status::Ok: return "OK";
+    case Status::Exhausted: return "EXHAUSTED";
+    case Status::RateLimited: return "RATE_LIMITED";
+    case Status::BadRequest: return "BAD_REQUEST";
+    case Status::TooLarge: return "TOO_LARGE";
+    case Status::Busy: return "BUSY";
+    case Status::ShuttingDown: return "SHUTTING_DOWN";
+  }
+  return "UNKNOWN";
+}
+
+const char* quality_name(Quality quality) {
+  switch (quality) {
+    case Quality::Raw: return "raw";
+    case Quality::Conditioned: return "conditioned";
+    case Quality::Drbg: return "drbg";
+  }
+  return "unknown";
+}
+
+std::optional<Quality> quality_from_name(const std::string& name) {
+  if (name == "raw") return Quality::Raw;
+  if (name == "conditioned") return Quality::Conditioned;
+  if (name == "drbg") return Quality::Drbg;
+  return std::nullopt;
+}
+
+const char* decode_error_name(DecodeError error) {
+  switch (error) {
+    case DecodeError::None: return "none";
+    case DecodeError::Empty: return "empty frame";
+    case DecodeError::BadOpcode: return "unknown opcode";
+    case DecodeError::BadQuality: return "unknown quality";
+    case DecodeError::BadLength: return "inconsistent payload length";
+  }
+  return "unknown";
+}
+
+std::uint32_t read_u32le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void write_u32le(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v & 0xff);
+  p[1] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+  p[2] = static_cast<std::uint8_t>((v >> 16) & 0xff);
+  p[3] = static_cast<std::uint8_t>((v >> 24) & 0xff);
+}
+
+std::vector<std::uint8_t> encode_get_request(Quality quality,
+                                             std::uint32_t n_bytes) {
+  std::vector<std::uint8_t> frame(kLenPrefixBytes + kGetPayloadBytes);
+  write_u32le(frame.data(), static_cast<std::uint32_t>(kGetPayloadBytes));
+  frame[4] = static_cast<std::uint8_t>(Opcode::Get);
+  frame[5] = static_cast<std::uint8_t>(quality);
+  write_u32le(frame.data() + 6, n_bytes);
+  return frame;
+}
+
+std::vector<std::uint8_t> encode_stats_request() {
+  std::vector<std::uint8_t> frame(kLenPrefixBytes + kStatsPayloadBytes);
+  write_u32le(frame.data(), static_cast<std::uint32_t>(kStatsPayloadBytes));
+  frame[4] = static_cast<std::uint8_t>(Opcode::Stats);
+  return frame;
+}
+
+DecodeError decode_request(const std::uint8_t* payload, std::size_t len,
+                           Request& out) {
+  if (len == 0) return DecodeError::Empty;
+  switch (payload[0]) {
+    case static_cast<std::uint8_t>(Opcode::Get): {
+      if (len != kGetPayloadBytes) return DecodeError::BadLength;
+      if (payload[1] > static_cast<std::uint8_t>(Quality::Drbg)) {
+        return DecodeError::BadQuality;
+      }
+      out.op = Opcode::Get;
+      out.quality = static_cast<Quality>(payload[1]);
+      out.n_bytes = read_u32le(payload + 2);
+      return DecodeError::None;
+    }
+    case static_cast<std::uint8_t>(Opcode::Stats): {
+      if (len != kStatsPayloadBytes) return DecodeError::BadLength;
+      out.op = Opcode::Stats;
+      out.quality = Quality::Raw;
+      out.n_bytes = 0;
+      return DecodeError::None;
+    }
+    default:
+      return DecodeError::BadOpcode;
+  }
+}
+
+std::vector<std::uint8_t> encode_response_frame(
+    Status status, std::uint8_t flags,
+    const std::vector<std::uint8_t>& body) {
+  std::vector<std::uint8_t> frame(kLenPrefixBytes + kResponseHeaderBytes +
+                                  body.size());
+  write_u32le(frame.data(), static_cast<std::uint32_t>(kResponseHeaderBytes +
+                                                       body.size()));
+  frame[4] = static_cast<std::uint8_t>(status);
+  frame[5] = flags;
+  write_u32le(frame.data() + 6, static_cast<std::uint32_t>(body.size()));
+  if (!body.empty()) {
+    std::memcpy(frame.data() + kLenPrefixBytes + kResponseHeaderBytes,
+                body.data(), body.size());
+  }
+  return frame;
+}
+
+std::vector<std::uint8_t> encode_error_frame(Status status,
+                                             const std::string& detail) {
+  return encode_response_frame(
+      status, 0, std::vector<std::uint8_t>(detail.begin(), detail.end()));
+}
+
+bool decode_response_payload(const std::uint8_t* payload, std::size_t len,
+                             Response& out) {
+  if (len < kResponseHeaderBytes) return false;
+  if (payload[0] > static_cast<std::uint8_t>(Status::ShuttingDown)) {
+    return false;
+  }
+  const std::uint32_t n = read_u32le(payload + 2);
+  if (len != kResponseHeaderBytes + n) return false;
+  out.status = static_cast<Status>(payload[0]);
+  out.flags = payload[1];
+  out.payload.assign(payload + kResponseHeaderBytes, payload + len);
+  return true;
+}
+
+}  // namespace dhtrng::service

@@ -1,0 +1,130 @@
+// Wire protocol of the entropy service — a deliberately small
+// length-prefixed binary framing so that clients in any language can speak
+// it with a dozen lines of code, and so the framing layer is a pure
+// function of bytes (fuzzable without sockets, see
+// tests/service/test_service_protocol.cpp).
+//
+//   frame    := u32-LE payload_length, payload
+//   request  := GET | STATS
+//   GET      := 0x01, quality u8 (0 RAW | 1 CONDITIONED | 2 DRBG), n u32-LE
+//   STATS    := 0x02
+//   response := status u8, flags u8, n u32-LE, n bytes
+//
+// GET responses carry `n` entropy bytes on Status::Ok; every non-Ok status
+// carries a short UTF-8 detail string instead (the "structured error" the
+// failure policy promises — a client always gets a reason, never a hang or
+// a silent close on a well-formed request).  STATS responses carry the
+// plaintext metrics dump.  Flag bit 0 (kFlagDegraded) marks bytes served
+// by the DRBG fallback while the pool is degraded.
+//
+// Request payloads are tiny by construction (6 bytes for GET, 1 for
+// STATS); any request frame longer than kMaxRequestPayload is a protocol
+// error and the server answers with a structured error before closing the
+// connection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dhtrng::service {
+
+enum class Opcode : std::uint8_t {
+  Get = 0x01,
+  Stats = 0x02,
+};
+
+enum class Quality : std::uint8_t {
+  Raw = 0,          ///< health-gated pool bytes, unconditioned
+  Conditioned = 1,  ///< SHA-256 2:1 compression of pool bytes (90B 3.1.5.1.2)
+  Drbg = 2,         ///< SP 800-90A HMAC_DRBG output, pool-seeded
+};
+
+enum class Status : std::uint8_t {
+  Ok = 0,
+  Exhausted = 1,     ///< every producer retired; service refuses (fail closed)
+  RateLimited = 2,   ///< token bucket empty; retry later
+  BadRequest = 3,    ///< malformed frame or unknown opcode/quality
+  TooLarge = 4,      ///< n_bytes above the per-request budget
+  Busy = 5,          ///< connection slots full at accept time
+  ShuttingDown = 6,  ///< server stopping
+};
+
+/// Response flag bits.
+inline constexpr std::uint8_t kFlagDegraded = 0x01;
+
+/// Frame length prefix: 4 bytes, little-endian.
+inline constexpr std::size_t kLenPrefixBytes = 4;
+/// GET request payload: opcode + quality + u32 n_bytes.
+inline constexpr std::size_t kGetPayloadBytes = 6;
+/// STATS request payload: opcode only.
+inline constexpr std::size_t kStatsPayloadBytes = 1;
+/// Hard cap on request frames (requests are tiny; anything bigger is a
+/// protocol violation, not a big request).
+inline constexpr std::size_t kMaxRequestPayload = 64;
+/// Response payload header: status + flags + u32 n.
+inline constexpr std::size_t kResponseHeaderBytes = 6;
+
+const char* status_name(Status status);
+const char* quality_name(Quality quality);
+/// Parses "raw" / "conditioned" / "drbg" (case-sensitive).
+std::optional<Quality> quality_from_name(const std::string& name);
+
+struct Request {
+  Opcode op = Opcode::Get;
+  Quality quality = Quality::Raw;
+  std::uint32_t n_bytes = 0;
+};
+
+struct Response {
+  Status status = Status::Ok;
+  std::uint8_t flags = 0;
+  std::vector<std::uint8_t> payload;  ///< entropy (Ok GET) or UTF-8 text
+
+  bool degraded() const { return (flags & kFlagDegraded) != 0; }
+  std::string text() const {
+    return std::string(payload.begin(), payload.end());
+  }
+};
+
+enum class DecodeError {
+  None,
+  Empty,       ///< zero-length payload
+  BadOpcode,   ///< first byte is not a known opcode
+  BadQuality,  ///< GET with an unknown quality byte
+  BadLength,   ///< payload length inconsistent with the opcode
+};
+
+const char* decode_error_name(DecodeError error);
+
+std::uint32_t read_u32le(const std::uint8_t* p);
+void write_u32le(std::uint8_t* p, std::uint32_t v);
+
+/// Full GET request frame (length prefix included).
+std::vector<std::uint8_t> encode_get_request(Quality quality,
+                                             std::uint32_t n_bytes);
+/// Full STATS request frame (length prefix included).
+std::vector<std::uint8_t> encode_stats_request();
+
+/// Parse a request payload (the bytes after the length prefix).
+DecodeError decode_request(const std::uint8_t* payload, std::size_t len,
+                           Request& out);
+
+/// Full response frame: length prefix, then status/flags/n header, then
+/// the body.
+std::vector<std::uint8_t> encode_response_frame(
+    Status status, std::uint8_t flags,
+    const std::vector<std::uint8_t>& body);
+/// Convenience: a non-Ok response whose body is a UTF-8 detail string.
+std::vector<std::uint8_t> encode_error_frame(Status status,
+                                             const std::string& detail);
+
+/// Parse a response payload (the bytes after the length prefix).  Returns
+/// false when the header is short or the inner length disagrees with the
+/// payload size.
+bool decode_response_payload(const std::uint8_t* payload, std::size_t len,
+                             Response& out);
+
+}  // namespace dhtrng::service

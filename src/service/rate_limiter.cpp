@@ -1,0 +1,52 @@
+#include "service/rate_limiter.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace dhtrng::service {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+TokenBucket::TokenBucket(std::uint64_t rate_bytes_per_s,
+                         std::uint64_t burst_bytes, Clock clock)
+    : rate_(rate_bytes_per_s),
+      burst_(burst_bytes == 0 ? 1 : burst_bytes),
+      clock_(clock ? std::move(clock) : Clock(steady_now_ns)),
+      tokens_(static_cast<double>(burst_)),
+      last_ns_(clock_()) {}
+
+void TokenBucket::refill_locked(std::uint64_t now_ns) {
+  if (now_ns <= last_ns_) return;
+  const double elapsed_s =
+      static_cast<double>(now_ns - last_ns_) * 1e-9;
+  tokens_ = std::min(static_cast<double>(burst_),
+                     tokens_ + elapsed_s * static_cast<double>(rate_));
+  last_ns_ = now_ns;
+}
+
+bool TokenBucket::try_acquire(std::uint64_t n) {
+  if (rate_ == 0) return true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  refill_locked(clock_());
+  if (tokens_ < static_cast<double>(n)) return false;
+  tokens_ -= static_cast<double>(n);
+  return true;
+}
+
+std::uint64_t TokenBucket::available() {
+  if (rate_ == 0) return ~std::uint64_t{0};
+  std::lock_guard<std::mutex> lock(mutex_);
+  refill_locked(clock_());
+  return tokens_ <= 0.0 ? 0 : static_cast<std::uint64_t>(tokens_);
+}
+
+}  // namespace dhtrng::service

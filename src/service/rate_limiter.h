@@ -1,0 +1,47 @@
+// Token-bucket rate limiter — the service's backpressure valve.  Tokens
+// are bytes: a bucket refills at `rate_bytes_per_s` up to `burst_bytes`,
+// and a request either withdraws its full size atomically or is rejected
+// whole (no partial grants, so the accounting identity
+// "bytes served == bytes requested - bytes of rejected requests" holds
+// exactly — the soak test asserts it).
+//
+// The clock is injectable (nanoseconds, monotonic) so tests can drive the
+// refill deterministically; the default is std::chrono::steady_clock.
+// A rate of 0 disables limiting (try_acquire always succeeds).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace dhtrng::service {
+
+class TokenBucket {
+ public:
+  using Clock = std::function<std::uint64_t()>;  ///< monotonic nanoseconds
+
+  /// `rate_bytes_per_s` == 0 means unlimited.
+  TokenBucket(std::uint64_t rate_bytes_per_s, std::uint64_t burst_bytes,
+              Clock clock = {});
+
+  /// Withdraw `n` tokens if (after refill) the bucket holds at least `n`;
+  /// all-or-nothing.  Thread-safe.
+  bool try_acquire(std::uint64_t n);
+
+  /// Tokens currently available (after refill); for tests/diagnostics.
+  std::uint64_t available();
+
+  bool unlimited() const { return rate_ == 0; }
+
+ private:
+  void refill_locked(std::uint64_t now_ns);
+
+  const std::uint64_t rate_;
+  const std::uint64_t burst_;
+  Clock clock_;
+  std::mutex mutex_;
+  double tokens_;
+  std::uint64_t last_ns_;
+};
+
+}  // namespace dhtrng::service

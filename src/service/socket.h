@@ -1,0 +1,88 @@
+// Thin RAII layer over the POSIX sockets the entropy service uses: a
+// connected stream socket with exact-read/exact-write helpers, and a
+// listener that accepts with a poll timeout so accept loops can observe a
+// stop flag without signals or non-portable close-wakes.
+//
+// Both TCP (loopback by default) and Unix-domain stream sockets are
+// supported; everything above this layer is transport-agnostic.  Writes
+// use MSG_NOSIGNAL so a peer that disappears mid-response surfaces as an
+// error return, never a SIGPIPE.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace dhtrng::service {
+
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Detach the fd (caller owns it afterwards).
+  int release();
+
+  /// Read exactly `n` bytes; false on EOF or error (including a peer that
+  /// resets mid-read — the caller treats both as "connection over").
+  bool read_exact(std::uint8_t* buf, std::size_t n);
+  /// Write all `n` bytes; false on error.
+  bool write_all(const std::uint8_t* buf, std::size_t n);
+
+  /// shutdown(SHUT_RDWR): wakes a thread blocked in read_exact on this
+  /// socket (used by EntropyServer::stop to unblock connection workers).
+  void shutdown_both();
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+class Listener {
+ public:
+  /// Bind + listen on 127.0.0.1:`port` (0 = ephemeral; see port()).
+  /// Throws std::runtime_error on failure.
+  static Listener tcp_loopback(std::uint16_t port);
+  /// Bind + listen on a Unix-domain stream socket at `path` (unlinked
+  /// first, and unlinked again on destruction).
+  static Listener unix_domain(const std::string& path);
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  Listener(Listener&& other) noexcept;
+  ~Listener();
+
+  bool valid() const { return fd_ >= 0; }
+  /// Actual bound TCP port (0 for Unix-domain listeners).
+  std::uint16_t port() const { return port_; }
+  const std::string& path() const { return path_; }
+
+  /// Wait up to `timeout_ms` for a pending connection; nullopt on timeout
+  /// or once closed.
+  std::optional<Socket> accept(int timeout_ms);
+  void close();
+
+ private:
+  Listener(int fd, std::uint16_t port, std::string path)
+      : fd_(fd), port_(port), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::string path_;  ///< non-empty for Unix-domain (unlink target)
+};
+
+/// Connect to a TCP server; invalid Socket on failure.
+Socket connect_tcp(const std::string& host, std::uint16_t port);
+/// Connect to a Unix-domain server; invalid Socket on failure.
+Socket connect_unix(const std::string& path);
+
+}  // namespace dhtrng::service

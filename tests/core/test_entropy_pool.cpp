@@ -3,52 +3,34 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "support/fault_sources.h"
 #include "support/rng.h"
 
 namespace dhtrng::core {
 namespace {
 
-/// Seeded pseudo-random source standing in for a healthy TRNG (orders of
-/// magnitude faster than the physical models — keeps these tests tight).
-class IdealSource final : public TrngSource {
- public:
-  explicit IdealSource(std::uint64_t seed) : rng_(seed) {}
-  std::string name() const override { return "ideal"; }
-  bool next_bit() override { return rng_.bernoulli(0.5); }
-  void restart() override {}
-  sim::ResourceCounts resources() const override { return {}; }
-  double clock_mhz() const override { return 100.0; }
-  fpga::ActivityEstimate activity() const override { return {}; }
+using testsupport::BiasedSource;
+using testsupport::IdealSource;
+using testsupport::IntermittentDropoutSource;
+using testsupport::StuckSource;
 
- private:
-  support::Xoshiro256 rng_;
-};
-
-/// A source that is healthy until `fail_after` bits, then sticks at 0 —
-/// and stays stuck through any number of reseeds (a dead ring oscillator).
-class StuckSource final : public TrngSource {
- public:
-  StuckSource(std::uint64_t seed, std::uint64_t fail_after)
-      : rng_(seed), remaining_(fail_after) {}
-  std::string name() const override { return "stuck-at-0"; }
-  bool next_bit() override {
-    if (remaining_ == 0) return false;
-    --remaining_;
-    return rng_.bernoulli(0.5);
+/// Polls `done` with a bounded grace window (producer threads advance on
+/// their own schedule; the fault schedules themselves are bit-exact).
+template <typename Predicate>
+bool eventually(Predicate done, int timeout_ms = 10000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (!done()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  void restart() override {}
-  sim::ResourceCounts resources() const override { return {}; }
-  double clock_mhz() const override { return 100.0; }
-  fpga::ActivityEstimate activity() const override { return {}; }
-
- private:
-  support::Xoshiro256 rng_;
-  std::uint64_t remaining_;
-};
+  return true;
+}
 
 EntropyPool::SourceFactory ideal_factory() {
   return [](std::size_t, std::uint64_t seed) {
@@ -186,6 +168,136 @@ TEST(EntropyPool, StopIsIdempotentAndDrains) {
         for (;;) (void)pool.get_bytes(1);
       },
       EntropyExhausted);
+}
+
+// --- Full quarantine -> reseed -> retire state machine, driven by the
+// --- deterministic fault sources in tests/support/fault_sources.h. ------
+
+TEST(EntropyPool, ReseedCuresProducerAtMaxReseedsBoundary) {
+  // Producer 0's first `max_reseeds` builds are dead on arrival; build
+  // max_reseeds is healthy.  Exactly max_reseeds consecutive alarms is the
+  // boundary the policy still tolerates: the producer must survive.
+  constexpr std::size_t kMaxReseeds = 3;
+  std::atomic<int> builds_of_producer0{0};
+  EntropyPool pool(
+      {.producers = 2, .buffer_bytes = 2048, .block_bits = 512,
+       .max_reseeds = kMaxReseeds},
+      [&](std::size_t index, std::uint64_t seed) -> std::unique_ptr<TrngSource> {
+        if (index == 0 &&
+            builds_of_producer0.fetch_add(1) < static_cast<int>(kMaxReseeds)) {
+          return std::make_unique<StuckSource>(seed, 0);
+        }
+        return std::make_unique<IdealSource>(seed);
+      });
+  // The quarantine loop needs no consumer: alarmed blocks never reach the
+  // buffer, so producer 0 marches through its stuck builds on its own.
+  ASSERT_TRUE(eventually([&] {
+    return builds_of_producer0.load() >= static_cast<int>(kMaxReseeds) + 1 &&
+           pool.quarantine_events() >= kMaxReseeds;
+  }));
+  EXPECT_EQ(pool.quarantine_events(), kMaxReseeds);
+  EXPECT_EQ(pool.reseed_events(), kMaxReseeds);
+  EXPECT_EQ(pool.retired_producers(), 0u);
+  EXPECT_EQ(pool.healthy_producers(), 2u);
+  EXPECT_FALSE(pool.exhausted());
+  EXPECT_EQ(pool.get_bytes(512).size(), 512u);  // still serving
+}
+
+TEST(EntropyPool, RetiresProducerOneAlarmPastMaxReseeds) {
+  // Producer 0 is stuck on every build: alarm number max_reseeds + 1
+  // crosses the boundary and the producer is retired permanently.
+  constexpr std::size_t kMaxReseeds = 2;
+  EntropyPool pool(
+      {.producers = 2, .buffer_bytes = 2048, .block_bits = 512,
+       .max_reseeds = kMaxReseeds},
+      [](std::size_t index, std::uint64_t seed) -> std::unique_ptr<TrngSource> {
+        if (index == 0) return std::make_unique<StuckSource>(seed, 0);
+        return std::make_unique<IdealSource>(seed);
+      });
+  ASSERT_TRUE(eventually([&] { return pool.retired_producers() == 1; }));
+  EXPECT_EQ(pool.quarantine_events(), kMaxReseeds + 1);
+  EXPECT_EQ(pool.reseed_events(), kMaxReseeds);
+  EXPECT_EQ(pool.healthy_producers(), 1u);
+  EXPECT_FALSE(pool.exhausted());
+  const PoolHealthSnapshot snap = pool.snapshot();
+  EXPECT_EQ(snap.producers, 2u);
+  EXPECT_EQ(snap.retired, 1u);
+  EXPECT_EQ(snap.quarantines, kMaxReseeds + 1);
+  EXPECT_EQ(snap.reseeds, kMaxReseeds);
+  EXPECT_EQ(pool.get_bytes(256).size(), 256u);  // survivor keeps serving
+}
+
+TEST(EntropyPool, IntermittentDropoutQuarantinesWithoutRetiring) {
+  // Producer 0's first build browns out for 300 bits starting at bit 1000
+  // (well past the RCT cutoff of ~24, inside its second 512-bit block);
+  // the rebuild is healthy.  One quarantine, one cure, no retirement.
+  std::atomic<int> builds_of_producer0{0};
+  EntropyPool pool(
+      {.producers = 2, .buffer_bytes = 4096, .block_bits = 512},
+      [&](std::size_t index, std::uint64_t seed) -> std::unique_ptr<TrngSource> {
+        if (index == 0 && builds_of_producer0.fetch_add(1) == 0) {
+          return std::make_unique<IntermittentDropoutSource>(
+              seed, std::vector<std::uint64_t>{1000}, 300);
+        }
+        return std::make_unique<IdealSource>(seed);
+      });
+  ASSERT_TRUE(eventually([&] { return pool.quarantine_events() >= 1; }));
+  EXPECT_EQ(pool.quarantine_events(), 1u);
+  EXPECT_EQ(pool.reseed_events(), 1u);
+  EXPECT_EQ(pool.retired_producers(), 0u);
+  EXPECT_EQ(pool.healthy_producers(), 2u);
+  EXPECT_EQ(pool.get_bytes(512).size(), 512u);
+}
+
+TEST(EntropyPool, BiasedProducerIsCaughtAndRetired) {
+  // A source that still toggles but emits ones 95% of the time defeats a
+  // repetition-count-only monitor; the adaptive proportion test must
+  // catch it.  Biased on every build -> quarantines march to retirement.
+  EntropyPool pool(
+      {.producers = 2, .buffer_bytes = 2048, .block_bits = 512,
+       .max_reseeds = 2},
+      [](std::size_t index, std::uint64_t seed) -> std::unique_ptr<TrngSource> {
+        if (index == 0) return std::make_unique<BiasedSource>(seed, 0, 0.95);
+        return std::make_unique<IdealSource>(seed);
+      });
+  ASSERT_TRUE(eventually([&] { return pool.retired_producers() == 1; }));
+  EXPECT_GE(pool.quarantine_events(), 3u);
+  EXPECT_EQ(pool.healthy_producers(), 1u);
+  EXPECT_EQ(pool.get_bytes(256).size(), 256u);
+}
+
+TEST(EntropyPool, StaggeredRetirementEndsInEntropyExhausted) {
+  // Producer 0 is dead on arrival; producer 1 serves ~2.5 KB before its
+  // noise dies at bit 20000 and every rebuild is dead too.  The pool must
+  // serve the healthy prefix, then retire the last producer and throw —
+  // the terminal state of the failure policy.
+  std::atomic<int> builds_of_producer1{0};
+  EntropyPool pool(
+      {.producers = 2, .buffer_bytes = 512, .block_bits = 512,
+       .max_reseeds = 1},
+      [&](std::size_t index, std::uint64_t seed) -> std::unique_ptr<TrngSource> {
+        if (index == 1 && builds_of_producer1.fetch_add(1) == 0) {
+          return std::make_unique<StuckSource>(seed, 20000);
+        }
+        return std::make_unique<StuckSource>(seed, 0);
+      });
+  std::size_t served = 0;
+  EXPECT_THROW(
+      {
+        for (;;) served += pool.get_bytes(64).size();
+      },
+      EntropyExhausted);
+  EXPECT_GT(served, 0u);          // the healthy prefix was served...
+  EXPECT_LE(served, 20000u / 8);  // ...and only the healthy prefix
+  EXPECT_EQ(pool.healthy_producers(), 0u);
+  EXPECT_EQ(pool.retired_producers(), 2u);
+  EXPECT_TRUE(pool.exhausted());
+  EXPECT_TRUE(pool.snapshot().exhausted);
+  // Per producer: max_reseeds + 1 = 2 alarms, 1 cure-attempt reseed.
+  EXPECT_EQ(pool.quarantine_events(), 4u);
+  EXPECT_EQ(pool.reseed_events(), 2u);
+  // Exhaustion is sticky: later requests must keep refusing.
+  EXPECT_THROW(pool.get_bytes(1), EntropyExhausted);
 }
 
 TEST(EntropyPool, DhTrngConvenienceFactory) {

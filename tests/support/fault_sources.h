@@ -1,0 +1,136 @@
+// Deterministic fault-injection TrngSource wrappers for exercising the
+// failure policy end to end: the EntropyPool quarantine -> reseed ->
+// retire state machine and the service degradation ladder built on it.
+//
+// Every failure is scheduled on the source's own bit counter — a seed
+// plus explicit trigger-bit indices, never wall-clock time — so a given
+// (seed, schedule) pair produces the identical bit sequence on every run
+// and machine, and the tests can reason exactly about which health-test
+// block alarms.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/trng.h"
+#include "support/rng.h"
+
+namespace dhtrng::testsupport {
+
+/// Seeded pseudo-random source standing in for a healthy TRNG (orders of
+/// magnitude faster than the physical models — keeps tests tight).
+class IdealSource final : public dhtrng::core::TrngSource {
+ public:
+  explicit IdealSource(std::uint64_t seed) : rng_(seed) {}
+  std::string name() const override { return "ideal"; }
+  bool next_bit() override { return rng_.bernoulli(0.5); }
+  void restart() override {}
+  dhtrng::sim::ResourceCounts resources() const override { return {}; }
+  double clock_mhz() const override { return 100.0; }
+  dhtrng::fpga::ActivityEstimate activity() const override { return {}; }
+
+ private:
+  dhtrng::support::Xoshiro256 rng_;
+};
+
+/// Healthy Bernoulli(1/2) bits until bit index `fail_at_bit`, then stuck
+/// at `stuck_value` forever — a ring oscillator that died mid-life.
+/// `fail_at_bit == 0` models a source dead on arrival.
+class StuckSource final : public dhtrng::core::TrngSource {
+ public:
+  StuckSource(std::uint64_t seed, std::uint64_t fail_at_bit,
+              bool stuck_value = false)
+      : rng_(seed), fail_at_(fail_at_bit), stuck_(stuck_value) {}
+  std::string name() const override {
+    return stuck_ ? "stuck-at-1" : "stuck-at-0";
+  }
+  bool next_bit() override {
+    const std::uint64_t i = bit_++;
+    if (i >= fail_at_) return stuck_;
+    return rng_.bernoulli(0.5);
+  }
+  void restart() override {}
+  dhtrng::sim::ResourceCounts resources() const override { return {}; }
+  double clock_mhz() const override { return 100.0; }
+  dhtrng::fpga::ActivityEstimate activity() const override { return {}; }
+
+ private:
+  dhtrng::support::Xoshiro256 rng_;
+  std::uint64_t fail_at_;
+  bool stuck_;
+  std::uint64_t bit_ = 0;
+};
+
+/// Healthy until `fail_at_bit`, then heavily biased Bernoulli(`p_one`) —
+/// a locked loop or supply-coupled ring that still toggles but has lost
+/// its entropy.  The APT (not the RCT) is the test that must catch it.
+class BiasedSource final : public dhtrng::core::TrngSource {
+ public:
+  BiasedSource(std::uint64_t seed, std::uint64_t fail_at_bit, double p_one)
+      : rng_(seed), fail_at_(fail_at_bit), p_one_(p_one) {}
+  std::string name() const override { return "biased"; }
+  bool next_bit() override {
+    const std::uint64_t i = bit_++;
+    return rng_.bernoulli(i >= fail_at_ ? p_one_ : 0.5);
+  }
+  void restart() override {}
+  dhtrng::sim::ResourceCounts resources() const override { return {}; }
+  double clock_mhz() const override { return 100.0; }
+  dhtrng::fpga::ActivityEstimate activity() const override { return {}; }
+
+ private:
+  dhtrng::support::Xoshiro256 rng_;
+  std::uint64_t fail_at_;
+  double p_one_;
+  std::uint64_t bit_ = 0;
+};
+
+/// Healthy except inside scheduled dropout windows [start, start +
+/// `dropout_bits`) for each start in `dropout_starts` (bit indices,
+/// ascending), where the output sticks at `stuck_value` — intermittent
+/// brown-outs that should quarantine without retiring a producer whose
+/// rebuilds come back healthy.
+class IntermittentDropoutSource final : public dhtrng::core::TrngSource {
+ public:
+  IntermittentDropoutSource(std::uint64_t seed,
+                            std::vector<std::uint64_t> dropout_starts,
+                            std::uint64_t dropout_bits,
+                            bool stuck_value = false)
+      : rng_(seed),
+        starts_(std::move(dropout_starts)),
+        dropout_bits_(dropout_bits),
+        stuck_(stuck_value) {
+    std::sort(starts_.begin(), starts_.end());
+  }
+  std::string name() const override { return "intermittent-dropout"; }
+  bool next_bit() override {
+    const std::uint64_t i = bit_++;
+    // Consume the PRNG on every bit so the healthy stream around a
+    // dropout is independent of the schedule.
+    const bool healthy_bit = rng_.bernoulli(0.5);
+    while (next_window_ < starts_.size() &&
+           i >= starts_[next_window_] + dropout_bits_) {
+      ++next_window_;
+    }
+    const bool in_dropout = next_window_ < starts_.size() &&
+                            i >= starts_[next_window_] &&
+                            i < starts_[next_window_] + dropout_bits_;
+    return in_dropout ? stuck_ : healthy_bit;
+  }
+  void restart() override {}
+  dhtrng::sim::ResourceCounts resources() const override { return {}; }
+  double clock_mhz() const override { return 100.0; }
+  dhtrng::fpga::ActivityEstimate activity() const override { return {}; }
+
+ private:
+  dhtrng::support::Xoshiro256 rng_;
+  std::vector<std::uint64_t> starts_;
+  std::uint64_t dropout_bits_;
+  bool stuck_;
+  std::uint64_t bit_ = 0;
+  std::size_t next_window_ = 0;
+};
+
+}  // namespace dhtrng::testsupport
