@@ -17,10 +17,13 @@
 //   --quick              short run (CI); default is a longer horizon
 //   --ns=<sim ns>        override the simulated horizon per engine
 //   --seed=<n>           simulation seed (default 1)
-//   --reps=<n>           repetitions per engine, best-of (default 3);
-//                        wall time is min-of-reps so scheduling noise on
-//                        busy runners doesn't fabricate regressions
+//   --reps=<n>           repetitions per engine, best-of after one untimed
+//                        warmup rep (default 3); wall time is min-of-reps
+//                        so scheduling noise on busy runners doesn't
+//                        fabricate regressions
 //   --out=<path>         JSON output path (default BENCH_sim.json)
+//   --trajectory=<path>  JSON-lines perf-trajectory file to append to
+//                        (default BENCH_sim_trajectory.jsonl)
 //   --baseline=<path>    compare speedups against a baseline JSON;
 //                        exit 1 on >--max-regress-pct regression
 //   --max-regress-pct=<p> allowed speedup regression in percent (default 20)
@@ -53,10 +56,13 @@ struct EngineRun {
 
 EngineRun run_engine_once(const dhtrng::sim::Circuit& circuit,
                           Scheduler scheduler, std::uint64_t seed,
-                          double horizon_ps) {
+                          double horizon_ps,
+                          dhtrng::noise::NoiseMode noise_mode =
+                              dhtrng::noise::NoiseMode::Exact) {
   SimConfig cfg;
   cfg.seed = seed;
   cfg.scheduler = scheduler;
+  cfg.noise_mode = noise_mode;
   // The reference engine is the historical scheduler, which drew noise
   // per call; the batched stream is bit-identical, so the waveform
   // comparison below is unaffected by the batch size.
@@ -79,14 +85,21 @@ EngineRun run_engine_once(const dhtrng::sim::Circuit& circuit,
   return r;
 }
 
-/// Best-of-`reps` timing (the runs are deterministic, so every rep
-/// reproduces the same waveform; only the wall clock varies — min is the
-/// standard estimator for "time with the least interference").
+/// Best-of-`reps` timing after one explicit warmup rep (the runs are
+/// deterministic, so every rep reproduces the same waveform; only the wall
+/// clock varies — min is the standard estimator for "time with the least
+/// interference", and the warmup keeps cold caches and lazy CPU-dispatch
+/// init out of every rep, not just the first).
 EngineRun run_engine(const dhtrng::sim::Circuit& circuit, Scheduler scheduler,
-                     std::uint64_t seed, double horizon_ps, int reps) {
-  EngineRun best = run_engine_once(circuit, scheduler, seed, horizon_ps);
+                     std::uint64_t seed, double horizon_ps, int reps,
+                     dhtrng::noise::NoiseMode noise_mode =
+                         dhtrng::noise::NoiseMode::Exact) {
+  run_engine_once(circuit, scheduler, seed, horizon_ps, noise_mode);
+  EngineRun best =
+      run_engine_once(circuit, scheduler, seed, horizon_ps, noise_mode);
   for (int i = 1; i < reps; ++i) {
-    EngineRun r = run_engine_once(circuit, scheduler, seed, horizon_ps);
+    EngineRun r =
+        run_engine_once(circuit, scheduler, seed, horizon_ps, noise_mode);
     if (r.wall_s < best.wall_s) best = std::move(r);
   }
   return best;
@@ -166,6 +179,38 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.events), r.calendar_eps,
                 r.reference_eps, r.speedup, r.identical ? "yes" : "NO");
     results.push_back(r);
+
+    // Fast-noise lane for the paper's core netlist: the calendar engine
+    // with NoiseMode::Fast, reported as a speedup against the SAME
+    // exact-noise reference run as the "dhtrng" row above (so the row
+    // answers "how much faster is the optimised engine end to end").
+    // The identity check compares fast-calendar against fast-reference:
+    // fast noise is block-aligned (noise::kFastNoiseBlock), so the two
+    // schedulers must still agree bit-for-bit *within* the mode — golden
+    // digests of the exact mode do not apply here.
+    if (r.name == "dhtrng") {
+      const EngineRun fcal =
+          run_engine(net.circuit, Scheduler::Calendar, seed, horizon_ps, reps,
+                     dhtrng::noise::NoiseMode::Fast);
+      const EngineRun fref =
+          run_engine(net.circuit, Scheduler::ReferenceHeap, seed, horizon_ps,
+                     1, dhtrng::noise::NoiseMode::Fast);
+      CaseResult f;
+      f.name = "dhtrng_fastnoise";
+      f.events = fcal.events;
+      f.identical = fcal.events == fref.events &&
+                    fcal.toggles == fref.toggles &&
+                    fcal.per_net_toggles == fref.per_net_toggles &&
+                    fcal.final_values == fref.final_values;
+      f.calendar_eps = static_cast<double>(fcal.events) / fcal.wall_s;
+      f.reference_eps = r.reference_eps;
+      f.speedup = f.calendar_eps / f.reference_eps;
+      all_identical = all_identical && f.identical;
+      std::printf("%-18s %12llu %14.3g %14.3g %8.2fx %10s\n", f.name.c_str(),
+                  static_cast<unsigned long long>(f.events), f.calendar_eps,
+                  f.reference_eps, f.speedup, f.identical ? "yes" : "NO");
+      results.push_back(f);
+    }
   }
 
   std::ostringstream json;
@@ -187,7 +232,18 @@ int main(int argc, char** argv) {
     std::ofstream out(out_path);
     out << json.str();
   }
-  std::printf("\nwrote %s\n", out_path.c_str());
+  // Perf-trajectory record per case (JSON lines; Mbit/s is not meaningful
+  // for an event-engine bench, so the field is 0 and ns/event carries the
+  // signal — the speedup rides along in the extra field).
+  const std::string traj_path =
+      flag_str(argc, argv, "trajectory", "BENCH_sim_trajectory.jsonl");
+  for (const CaseResult& r : results) {
+    dhtrng::bench::append_trajectory(
+        traj_path, "sim_" + r.name, 1e9 / r.calendar_eps, 0.0,
+        "\"speedup\": " + std::to_string(r.speedup));
+  }
+  std::printf("\nwrote %s and appended %s\n", out_path.c_str(),
+              traj_path.c_str());
 
   if (!all_identical) {
     std::printf("FAIL: schedulers disagree — waveforms not bit-identical\n");

@@ -6,10 +6,14 @@
 // paper-vs-measured record summarized in EXPERIMENTS.md.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fpga/device.h"
@@ -60,6 +64,66 @@ inline void note(const char* text) { std::printf("note: %s\n", text); }
 
 inline std::vector<fpga::DeviceModel> paper_devices() {
   return {fpga::DeviceModel::virtex6(), fpga::DeviceModel::artix7()};
+}
+
+/// Best-of-N timing with an explicit warmup rep.  Runs `fn` once untimed
+/// (populates caches, faults in pages, triggers lazy CPU-dispatch init),
+/// then `reps` timed runs and returns the minimum wall seconds — min, not
+/// mean, because the workloads are deterministic and only scheduling noise
+/// varies, so the minimum is the estimator with the least interference.
+template <class F>
+double best_of_seconds(int reps, F&& fn) {
+  fn();  // warmup — never timed
+  double best = -1.0;
+  for (int i = 0; i < (reps > 0 ? reps : 1); ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    if (best < 0.0 || s < best) best = s;
+  }
+  return best;
+}
+
+/// UTC date as "YYYY-MM-DD" for trajectory entries.
+inline std::string iso_date_utc() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[16];
+  std::strftime(buf, sizeof buf, "%Y-%m-%d", &tm);
+  return buf;
+}
+
+/// Short git commit hash of the working tree, or "unknown" outside a
+/// checkout (e.g. an installed bench binary run from a tarball).
+inline std::string git_commit() {
+  std::FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (!p) return "unknown";
+  char buf[64] = {0};
+  const bool got = std::fgets(buf, sizeof buf, p) != nullptr;
+  ::pclose(p);
+  if (!got) return "unknown";
+  std::string s(buf);
+  while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
+  return s.empty() ? "unknown" : s;
+}
+
+/// Append one machine-readable perf-trajectory record to `path` (JSON
+/// Lines: one object per line, so appending never needs to parse what is
+/// already there).  CI uploads these as artifacts; plotting the file gives
+/// the perf history of a runner across commits.
+inline void append_trajectory(const std::string& path,
+                              const std::string& bench,
+                              double ns_per_event, double mbit_per_s,
+                              const std::string& extra_json = "") {
+  std::ofstream out(path, std::ios::app);
+  out << "{\"date\": \"" << iso_date_utc() << "\", \"commit\": \""
+      << git_commit() << "\", \"bench\": \"" << bench
+      << "\", \"ns_per_event\": " << ns_per_event
+      << ", \"mbit_per_s\": " << mbit_per_s;
+  if (!extra_json.empty()) out << ", " << extra_json;
+  out << "}\n";
 }
 
 }  // namespace dhtrng::bench

@@ -22,6 +22,10 @@ PhaseRoParams central_ring_params(const ChaoticRingParams& p) {
 
 }  // namespace
 
+PhaseRoParams central_ring_phase_params(const ChaoticRingParams& p) {
+  return central_ring_params(p);
+}
+
 ChaoticRing::ChaoticRing(const ChaoticRingParams& params, std::uint64_t seed)
     : params_(params),
       ring_(central_ring_params(params), seed),

@@ -32,6 +32,12 @@ struct ChaoticRingParams {
   double flicker_sigma_ps = 3.0;
 };
 
+/// The PhaseRo parameterization of the central 2-XOR loop (stage count,
+/// delay, duty mismatch, supply coupling).  This is the ring ChaoticRing
+/// advances internally; exposed so the bitsliced SoA backend builds its
+/// central-ring lanes from the identical parameters.
+PhaseRoParams central_ring_phase_params(const ChaoticRingParams& p);
+
 class ChaoticRing {
  public:
   ChaoticRing(const ChaoticRingParams& params, std::uint64_t seed);

@@ -56,6 +56,12 @@ CouplingStructureParams tuned_params(const fpga::DeviceModel& device,
 
 }  // namespace
 
+CouplingStructureParams tuned_coupling_params(const fpga::DeviceModel& device,
+                                              const noise::PvtCondition& pvt,
+                                              double noise_scale) {
+  return tuned_params(device, pvt, noise_scale);
+}
+
 DhTrng::DhTrng(DhTrngConfig config)
     : config_(config),
       clock_mhz_(config.clock_mhz > 0.0

@@ -52,6 +52,14 @@ struct DhTrngConfig {
   double data_noise_ps = 10.0;
 };
 
+/// The device/PVT-tuned phase-model parameter set DhTrng's fast backend is
+/// built from (kappa, stage delays, hold-capture probability etc. scaled to
+/// the device and corner).  Exposed so the bitsliced SoA backend
+/// (dhtrng_soa.h) instantiates lanes from exactly the same parameters.
+CouplingStructureParams tuned_coupling_params(const fpga::DeviceModel& device,
+                                              const noise::PvtCondition& pvt,
+                                              double noise_scale);
+
 class DhTrng final : public TrngSource {
  public:
   explicit DhTrng(DhTrngConfig config = {});

@@ -1,0 +1,7 @@
+// Baseline tier of the SoA step kernel (scalar on x86-64 without AVX2;
+// NEON-autovectorized on aarch64, where NEON is baseline).  See
+// dhtrng_soa_engine.h for the tier contract.
+
+#define DHTRNG_KERNEL_NS scalar_k
+#include "core/dhtrng_soa_engine.inc"
+#undef DHTRNG_KERNEL_NS

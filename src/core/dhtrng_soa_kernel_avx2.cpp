@@ -1,0 +1,13 @@
+// AVX2 tier of the SoA step kernel: the same shared source as the baseline
+// tier (dhtrng_soa_engine.inc), recompiled with -mavx2 -mfma so the
+// elementwise lane loops vectorize 4 doubles wide and the guarded
+// mask-packing intrinsics activate.  -ffp-contract=off keeps the per-lane
+// arithmetic bit-identical to the baseline tier; only reached after the
+// runtime CPU check behind support::simd::active_tier().
+#if defined(__x86_64__) || defined(_M_X64)
+
+#define DHTRNG_KERNEL_NS avx2_k
+#include "core/dhtrng_soa_engine.inc"
+#undef DHTRNG_KERNEL_NS
+
+#endif

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/dhtrng.h"
+#include "core/dhtrng_soa.h"
 #include "core/trng.h"
 #include "stats/health.h"
 #include "support/ring_buffer.h"
@@ -81,6 +82,13 @@ class EntropyPool {
   /// (seeds are re-derived per producer).
   static EntropyPool of_dhtrng(EntropyPoolConfig config,
                                DhTrngConfig core = {});
+
+  /// Convenience: a pool of DhTrngSoA producers — each producer is a
+  /// bitsliced 64-instance block, so one producer thread feeds the buffer
+  /// at bulk-generation rather than single-instance rate.  Seeds are
+  /// re-derived per producer exactly as in of_dhtrng.
+  static EntropyPool of_dhtrng_soa(EntropyPoolConfig config,
+                                   DhTrngSoAConfig core = {});
 
   ~EntropyPool();
 

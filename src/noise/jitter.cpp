@@ -18,13 +18,22 @@ double SharedSupplyNoise::step_uncached() {
 }
 
 void SharedSupplyNoise::refill() {
-  block_.resize(batch_);
-  rng_.gaussian_fill(block_.data(), batch_);
+  // Fast mode refills in fixed kFastNoiseBlock-step blocks so the value
+  // stream — and therefore fast-mode waveforms — is independent of
+  // set_batch().  Exact mode honours batch_; its gaussian_fill stream is
+  // chunking-invariant by construction, so any batch is bit-identical.
+  const std::size_t n = mode_ == NoiseMode::Fast ? kFastNoiseBlock : batch_;
+  block_.resize(n);
+  if (mode_ == NoiseMode::Fast) {
+    rng_.gaussian_fill_fast(block_.data(), n);
+  } else {
+    rng_.gaussian_fill(block_.data(), n);
+  }
   // Run the recurrence over the pre-drawn innovations; arithmetic is
-  // identical to batch_ successive step_uncached() calls
+  // identical to n successive step_uncached() calls
   // (gaussian(0, s) == 0.0 + s * gaussian()).
   double v = value_;
-  for (std::size_t i = 0; i < batch_; ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     v = rho_ * v + (0.0 + innovation_sigma_ * block_[i]);
     block_[i] = v;
   }
@@ -56,6 +65,39 @@ void EdgeJitterSource::refill() {
   rng_.gaussian_fill(white_block_.data(), batch_);
   flicker_.fill(flicker_block_.data(), batch_);
   block_pos_ = 0;
+}
+
+void EdgeJitterSource::enable_fast_delay(double base_delay_ps, double floor_ps,
+                                         const PvtScaling& scale) {
+  fast_base_ = base_delay_ps;
+  fast_floor_ = floor_ps;
+  fast_white_gain_ = params_.white_sigma_ps * scale.white_jitter;
+  fast_flicker_gain_ = scale.correlated_noise;
+  // Mirrors combine(): the shared term is gated on correlated_sigma_ps but
+  // shared_->step() is still consumed whenever a supply is attached, so
+  // the global AR(1) consumption order matches the structure of the exact
+  // path.
+  fast_shared_gain_ =
+      params_.correlated_sigma_ps > 0.0 ? scale.correlated_noise : 0.0;
+  delay_block_.clear();
+  delay_pos_ = 0;
+}
+
+void EdgeJitterSource::refill_fast() {
+  // Fixed-size blocks: every fast-mode component is chunk-aligned at
+  // kFastNoiseBlock, so fast waveforms do not depend on set_batch().
+  constexpr std::size_t n = kFastNoiseBlock;
+  double white[n];
+  double flicker[n];
+  delay_block_.resize(n);
+  rng_.gaussian_fill_fast(white, n);
+  flicker_.fill_fast(flicker, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    delay_block_[i] =
+        std::fma(fast_white_gain_, white[i],
+                 std::fma(fast_flicker_gain_, flicker[i], fast_base_));
+  }
+  delay_pos_ = 0;
 }
 
 double EdgeJitterSource::next_edge_jitter_slow(const PvtScaling& scale) {

@@ -24,6 +24,24 @@
 
 namespace dhtrng::noise {
 
+/// Noise fidelity mode.
+///
+///  * Exact — the historical draw-for-draw arithmetic (polar-method
+///    gaussians, per-sample flicker summation).  Golden-waveform digests
+///    pin this stream; it is the default everywhere.
+///  * Fast — batched Box-Muller through the dispatched SIMD kernels
+///    (support/simd_noise.h) plus pre-combined delay blocks.  The streams
+///    are statistically equivalent but NOT bit-compatible with Exact, so
+///    golden digests do not apply; waveforms are still deterministic per
+///    (seed, mode) and identical across dispatch tiers.
+enum class NoiseMode { Exact, Fast };
+
+/// Fast-mode noise is drawn in fixed blocks of this many samples in every
+/// component (white, flicker, shared supply), which keeps the fast stream
+/// chunk-aligned: waveforms in NoiseMode::Fast are independent of the
+/// set_batch() configuration.
+inline constexpr std::size_t kFastNoiseBlock = 64;
+
 struct JitterParams {
   double white_sigma_ps = 1.0;      ///< per-edge white jitter sigma
   double flicker_sigma_ps = 0.5;    ///< marginal sigma of the flicker process
@@ -49,7 +67,7 @@ class SharedSupplyNoise {
       value_ = block_[block_pos_++];
       return value_;
     }
-    if (batch_ > 1) {
+    if (batch_ > 1 || mode_ == NoiseMode::Fast) {
       refill();
       value_ = block_[block_pos_++];
       return value_;
@@ -61,6 +79,10 @@ class SharedSupplyNoise {
   /// Precompute the trajectory `n` steps at a time (n <= 1 restores
   /// per-call stepping; buffered values are always drained first).
   void set_batch(std::size_t n) { batch_ = n > 1 ? n : 1; }
+
+  /// Fast mode draws the AR(1) innovations via gaussian_fill_fast (the
+  /// recurrence itself is unchanged).  Takes effect at the next refill.
+  void set_mode(NoiseMode m) { mode_ = m; }
 
  private:
   double step_uncached();
@@ -74,6 +96,7 @@ class SharedSupplyNoise {
   std::vector<double> block_;
   std::size_t block_pos_ = 0;
   std::size_t batch_ = 1;
+  NoiseMode mode_ = NoiseMode::Exact;
 };
 
 /// Per-source edge jitter generator.
@@ -99,6 +122,29 @@ class EdgeJitterSource {
   /// Same at the nominal corner.
   double next_edge_jitter() { return next_edge_jitter({1.0, 1.0, 1.0}); }
 
+  /// Fast-noise mode: precompute *complete* per-edge delays instead of
+  /// raw components.  Each block entry is
+  ///     base_delay_ps + white_gain * w[i] + flicker_gain * f[i]
+  /// with the gains folded in at refill time (the PvtScaling is
+  /// snapshotted here — the simulator's scaling is per-run constant), the
+  /// gaussians drawn via gaussian_fill_fast and the flicker lattice via
+  /// FlickerNoise::fill_fast.  Only the shared-supply term stays per-call
+  /// so cross-gate supply correlation keeps its global consumption order.
+  /// NOT bit-compatible with next_edge_jitter (see NoiseMode).
+  void enable_fast_delay(double base_delay_ps, double floor_ps,
+                         const PvtScaling& scale);
+
+  /// Next complete gate delay (ps), clamped to the floor passed to
+  /// enable_fast_delay.  Call only after enable_fast_delay.
+  double next_delay_fast() {
+    if (delay_pos_ >= delay_block_.size()) refill_fast();
+    double d = delay_block_[delay_pos_++];
+    if (shared_ != nullptr) {
+      d = std::fma(shared_->step(), fast_shared_gain_, d);
+    }
+    return d < fast_floor_ ? fast_floor_ : d;
+  }
+
   /// Draw the white and flicker components in blocks of `n` instead of one
   /// pair per call (the event engine's hot path).  The per-call value
   /// stream is bit-identical for every batch size — each component comes
@@ -112,6 +158,7 @@ class EdgeJitterSource {
 
  private:
   void refill();
+  void refill_fast();
   double next_edge_jitter_slow(const PvtScaling& scale);
 
   /// Identical arithmetic to the historical per-call path:
@@ -137,6 +184,15 @@ class EdgeJitterSource {
   std::vector<double> flicker_block_;
   std::size_t block_pos_ = 0;
   std::size_t batch_ = 1;
+  // Fast-delay mode (enable_fast_delay): pre-combined delay blocks and the
+  // gains/constants folded into them.
+  std::vector<double> delay_block_;
+  std::size_t delay_pos_ = 0;
+  double fast_base_ = 0.0;
+  double fast_floor_ = 0.0;
+  double fast_white_gain_ = 0.0;
+  double fast_flicker_gain_ = 0.0;
+  double fast_shared_gain_ = 0.0;
 };
 
 }  // namespace dhtrng::noise

@@ -1,4 +1,4 @@
-// Calendar (bucket) event queue over a slab allocator.
+// Calendar (bucket) event queue.
 //
 // The simulator's schedule is a strict total order on (time, seq): events
 // pop in nondecreasing time, ties broken by insertion sequence number.  A
@@ -10,13 +10,21 @@
 // ordinal, so the calendar pops in exactly the same order as the heap —
 // which is what the differential fuzz tests assert event-for-event.
 //
-// Events live in a slab (index-addressed pool with a free list), so
-// scheduling allocates nothing after warm-up and cancellation (inertial
-// runt swallowing) is an O(1) tombstone instead of the reference
-// scheduler's dead-list scan.  Bucket entries carry (time, ord, idx) so
-// the hot scan walks contiguous memory; the slab is touched only for
-// equal-time tie-breaks, the dead check of the winning entry, and the
-// final pop.
+// Pops drain a *run buffer*: when the minimum is needed, every event of
+// the lowest occupied ordinal is extracted from its bucket in one pass,
+// sorted once, and subsequent pops just advance a cursor — no per-pop
+// bucket scan, no per-pop entry removal.  A push landing inside the
+// current ordinal (rare: the simulator schedules ahead of now) inserts
+// into the sorted run; a push landing *before* it (arbitrary use of the
+// public API, never the simulator) flushes the run back first.  This
+// changes only how the minimum is found, not which event is the minimum,
+// so pop order is untouched.
+//
+// Bucket entries carry the whole event payload plus a tombstone flag, so
+// extraction touches one contiguous array and nothing else.  Cancellation
+// (inertial runt swallowing) marks the bucket entry dead in place — or
+// erases it from the run if the ordinal is already extracted; tombstones
+// are reclaimed when their ordinal is next extracted.
 #pragma once
 
 #include <algorithm>
@@ -59,183 +67,168 @@ class CalendarQueue {
   bool empty() const { return live_ == 0; }
   std::size_t live() const { return live_; }
 
-  /// Insert and return the slab index (stable until the event pops).
-  std::uint32_t push(double time, std::uint64_t seq, NetId net, bool value) {
-    std::uint32_t idx;
-    if (!free_.empty()) {
-      idx = free_.back();
-      free_.pop_back();
-    } else {
-      idx = static_cast<std::uint32_t>(slab_.size());
-      slab_.push_back({});
-    }
-    Slot& s = slab_[idx];
-    s.time = time;
-    s.seq = seq;
-    s.net = net;
-    s.value = value ? 1 : 0;
-    s.dead = 0;
+  void push(double time, std::uint64_t seq, NetId net, bool value) {
     // Multiply by the cached reciprocal: the ordinal only has to be a
-    // monotone function of time computed consistently (here and in
-    // rebuild()); exact division-boundary placement is irrelevant.
+    // monotone function of time computed consistently (here, in cancel()
+    // and in rebuild()); exact division-boundary placement is irrelevant.
     const std::uint64_t ord = static_cast<std::uint64_t>(time * inv_width_);
-    const std::size_t bucket = ord & (buckets_.size() - 1);
-    buckets_[bucket].push_back({time, ord, idx});
-    occ_[bucket >> 6] |= std::uint64_t{1} << (bucket & 63);
     ++live_;
-    ++stored_;
-    // Push only appends, so the cached minimum and runner-up stay valid;
-    // the new event just might displace one of them.  (Ties are
-    // impossible: seq is strictly increasing, so an equal-time push loses
-    // to any cached event.)
-    if (have_peek_) {
-      if (time < slab_[peek_idx_].time) {
-        // New global minimum; the old minimum becomes the runner-up (it
-        // was smaller than everything else, including any old runner).
-        runner_bucket_ = peek_bucket_;
-        runner_pos_ = peek_pos_;
-        runner_idx_ = peek_idx_;
-        have_runner_ = true;
-        peek_bucket_ = bucket;
-        peek_pos_ = buckets_[bucket].size() - 1;
-        peek_idx_ = idx;
-      } else if (have_runner_ && time < slab_[runner_idx_].time) {
-        // Between the minimum and the old runner-up: new second place.
-        runner_bucket_ = bucket;
-        runner_pos_ = buckets_[bucket].size() - 1;
-        runner_idx_ = idx;
+    if (have_run_) {
+      if (ord == run_ord_) {
+        // Into the already-extracted ordinal: keep the run sorted.  An
+        // equal-time event loses to every queued one (seq is strictly
+        // increasing), so upper-bound on time alone is the (time, seq)
+        // position.
+        const auto it = std::upper_bound(
+            run_.begin() + static_cast<std::ptrdiff_t>(run_head_), run_.end(),
+            time,
+            [](double t, const SimEvent& e) { return t < e.time; });
+        // The shifted tail counts as minimum-search work: a width so
+        // coarse that pushes keep landing inside the extracted ordinal
+        // must show up in the retune metric.
+        scanned_ += static_cast<std::uint64_t>(run_.end() - it);
+        run_.insert(it, SimEvent{time, seq, net, value});
+        return;
+      }
+      if (ord < run_ord_) {
+        // Earlier than the extracted ordinal (arbitrary API use; the
+        // simulator always schedules at or after the current time).  Put
+        // the run back in its bucket and fall through to a plain push.
+        flush_run();
+        cur_ord_ = ord;
       }
     }
+    const std::size_t bucket = ord & (buckets_.size() - 1);
+    buckets_[bucket].push_back(
+        {time, ord, seq, net, value ? std::uint8_t{1} : std::uint8_t{0}, 0});
+    occ_[bucket >> 6] |= std::uint64_t{1} << (bucket & 63);
+    ++stored_;
     if (stored_ > buckets_.size() * 8) grow();
-    return idx;
   }
 
-  /// Tombstone a still-queued event (O(1)); the entry and slot are
-  /// reclaimed when the scan next selects it as the minimum.  Cancelling
-  /// the cached minimum promotes the runner-up (it was second smallest,
-  /// so it is now smallest); cancelling the runner-up just forgets it;
-  /// marking any other slot dead moves nothing.
-  void cancel(std::uint32_t idx) {
-    slab_[idx].dead = 1;
-    --live_;
-    if (have_peek_ && idx == peek_idx_) {
-      if (have_runner_) {
-        peek_bucket_ = runner_bucket_;
-        peek_pos_ = runner_pos_;
-        peek_idx_ = runner_idx_;
-        have_runner_ = false;
-      } else {
-        have_peek_ = false;
+  /// Remove the still-queued event pushed as (time, seq) — O(bucket) with
+  /// short buckets, O(1) amortized.  A bucket-resident event is
+  /// tombstoned in place and reclaimed when its ordinal is extracted; an
+  /// event already in the drain run is erased from it.  The caller must
+  /// pass the exact time used at push (the simulator keys this off its
+  /// per-net bookkeeping).
+  void cancel(double time, std::uint64_t seq) {
+    const std::uint64_t ord = static_cast<std::uint64_t>(time * inv_width_);
+    if (have_run_ && ord == run_ord_) {
+      for (std::size_t i = run_head_; i < run_.size(); ++i) {
+        if (run_[i].seq == seq) {
+          run_.erase(run_.begin() + static_cast<std::ptrdiff_t>(i));
+          --live_;
+          return;
+        }
       }
-    } else if (have_runner_ && idx == runner_idx_) {
-      have_runner_ = false;
+      return;
+    }
+    std::vector<Entry>& b = buckets_[ord & (buckets_.size() - 1)];
+    for (Entry& e : b) {
+      if (e.seq == seq) {
+        e.dead = 1;
+        --live_;
+        return;
+      }
     }
   }
 
   /// Earliest live event in (time, seq) order, or nullptr when empty.
   /// The pointer stays valid until the next push/cancel/pop.
   const SimEvent* peek() {
+    if (run_head_ < run_.size()) return &run_[run_head_];
     if (live_ == 0) return nullptr;
-    if (!have_peek_) locate_min();
-    const Slot& s = slab_[peek_idx_];
-    peeked_ = {s.time, s.seq, s.net, s.value != 0};
-    return &peeked_;
+    refill_run();
+    return &run_[run_head_];
   }
 
   /// Remove and return the earliest live event (queue must be non-empty).
-  /// When the last scan (or a later push) recorded a runner-up, it becomes
-  /// the new cached minimum — the common pop is O(1), no re-scan.
   SimEvent pop() {
-    if (!have_peek_) locate_min();
-    const Slot& s = slab_[peek_idx_];
-    const SimEvent ev{s.time, s.seq, s.net, s.value != 0};
-    remove_peek();
+    if (run_head_ >= run_.size()) refill_run();
+    const SimEvent ev = run_[run_head_++];
+    --live_;
+    if (++pops_ >= retune_pops_) maybe_retune();
     return ev;
   }
 
   /// Fused peek+pop for the simulator's run loop: pop the earliest live
-  /// event into `out` iff its time is <= `t_ps`.  One slab read, one
-  /// minimum search, no intermediate SimEvent copy.
+  /// event into `out` iff its time is <= `t_ps`.  The common path is a
+  /// bounds check and a cursor advance on the sorted run — it reads no
+  /// bucket memory at all.
   bool pop_if_due(double t_ps, SimEvent& out) {
-    if (live_ == 0) return false;
-    if (!have_peek_) locate_min();
-    const Slot& s = slab_[peek_idx_];
-    if (s.time > t_ps) return false;
-    out.time = s.time;
-    out.seq = s.seq;
-    out.net = s.net;
-    out.value = s.value != 0;
-    remove_peek();
+    if (run_head_ >= run_.size()) {
+      if (live_ == 0) return false;
+      refill_run();
+    }
+    const SimEvent& e = run_[run_head_];
+    if (e.time > t_ps) return false;
+    out = e;
+    ++run_head_;
+    --live_;
+    if (++pops_ >= retune_pops_) maybe_retune();
     return true;
   }
 
   double bucket_width_ps() const { return width_; }
   std::size_t bucket_count() const { return buckets_.size(); }
-  std::size_t stored() const { return stored_; }
+  std::size_t stored() const { return stored_ + (run_.size() - run_head_); }
 
  private:
-  struct Slot {
+  /// Bucket entry: the full event payload plus the calendar bookkeeping.
+  /// `ord` distinguishes rotations sharing the bucket hash.
+  struct Entry {
     double time;
+    std::uint64_t ord;
     std::uint64_t seq;
     NetId net;
     std::uint8_t value;
     std::uint8_t dead;
   };
 
-  /// Bucket entry: everything the hot scan needs without touching the
-  /// slab.  `ord` distinguishes rotations sharing the bucket hash.
-  struct Entry {
-    double time;
-    std::uint64_t ord;
-    std::uint32_t idx;
-  };
-
-  void remove_at(std::size_t bucket, std::size_t pos) {
-    std::vector<Entry>& b = buckets_[bucket];
-    free_.push_back(b[pos].idx);
-    b[pos] = b.back();
-    b.pop_back();
-    --stored_;
-    if (b.empty()) occ_[bucket >> 6] &= ~(std::uint64_t{1} << (bucket & 63));
+  static bool event_before(const SimEvent& a, const SimEvent& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
   }
 
-  /// Remove the cached minimum and promote the runner-up (if any) to be
-  /// the new cached minimum.  Requires have_peek_.
-  void remove_peek() {
-    const std::size_t last = buckets_[peek_bucket_].size() - 1;
-    remove_at(peek_bucket_, peek_pos_);
-    --live_;
-    if (have_runner_) {
-      // remove_at swap-filled peek's hole with the bucket's back entry;
-      // if that back entry *was* the runner, it now lives at peek_pos_.
-      if (runner_bucket_ == peek_bucket_ && runner_pos_ == last) {
-        runner_pos_ = peek_pos_;
-      }
-      peek_bucket_ = runner_bucket_;
-      peek_pos_ = runner_pos_;
-      peek_idx_ = runner_idx_;
-      have_runner_ = false;
-    } else {
-      have_peek_ = false;
+  /// Return the run's undrained remainder to its bucket (the extracted
+  /// ordinal is about to stop being the active one).
+  void flush_run() {
+    const std::size_t bucket = run_ord_ & (buckets_.size() - 1);
+    for (std::size_t i = run_head_; i < run_.size(); ++i) {
+      const SimEvent& e = run_[i];
+      buckets_[bucket].push_back(
+          {e.time, run_ord_, e.seq, e.net,
+           e.value ? std::uint8_t{1} : std::uint8_t{0}, 0});
+      ++stored_;
     }
-    if (++pops_ >= retune_pops_) maybe_retune();
+    if (!buckets_[bucket].empty()) {
+      occ_[bucket >> 6] |= std::uint64_t{1} << (bucket & 63);
+    }
+    run_.clear();
+    run_head_ = 0;
+    have_run_ = false;
   }
 
-  /// Scan buckets from cur_ord_ upward for the earliest live event,
-  /// jumping over empty buckets via the occupancy bitmap.  If a full
-  /// rotation of nonempty buckets finds nothing (their entries all belong
-  /// to later rotations — a sparse schedule, e.g. a lone slow clock),
-  /// jump cur_ord_ straight to the minimum occupied ordinal.
-  void locate_min() {
+  /// Find the lowest occupied ordinal from cur_ord_ upward (occupancy
+  /// bitmap hops over empty buckets) and extract it into the run.  If a
+  /// full rotation of nonempty buckets yields nothing (their entries all
+  /// belong to later rotations — a sparse schedule, e.g. a lone slow
+  /// clock), jump cur_ord_ straight to the minimum occupied ordinal.
+  /// Precondition: live_ > 0 and the run is drained.
+  void refill_run() {
+    run_.clear();
+    run_head_ = 0;
+    have_run_ = false;
     std::size_t rounds = 0;
     for (;;) {
-      if (scan_bucket(cur_ord_)) return;
+      if (extract_run(cur_ord_)) return;
       cur_ord_ += 1 + gap_to_next_occupied(
           (static_cast<std::size_t>(cur_ord_) + 1) & (buckets_.size() - 1));
       ++advances_;
       if (++rounds > buckets_.size()) {
         jump_to_min_ord();
-        scan_bucket(cur_ord_);
+        extract_run(cur_ord_);
         return;
       }
     }
@@ -259,88 +252,55 @@ class CalendarQueue {
     return buckets_.size();
   }
 
-  /// Find the earliest (time, seq) live event of ordinal `ord` in its
-  /// bucket; true if one exists (recorded in peek_*).  A dead winner is
-  /// reclaimed (entry removed, slot freed) and the bucket re-scanned —
-  /// tombstones are thus reclaimed exactly when they would have popped,
-  /// so a freed slot can never be shadowed by a stale bucket entry.
-  ///
-  /// The same pass records the second-earliest *live* event of this
-  /// ordinal as the runner-up.  All entries of later ordinals are
-  /// strictly later in time, so a same-ordinal second place is the global
-  /// second minimum — pop() and cancel() promote it without re-scanning.
-  /// (The runner must be live at selection: a tombstone standing in for
-  /// second place would let a later, smaller push displace it and then be
-  /// promoted over a live event between the two.)
-  bool scan_bucket(std::uint64_t ord) {
+  /// Move every live event of ordinal `ord` out of its bucket into the
+  /// run (reclaiming tombstones of that ordinal on the way), then sort
+  /// the run into (time, seq) order.  True if the run is nonempty.  All
+  /// entries of later ordinals are strictly later in time, so the sorted
+  /// run is a prefix of the global pop order.
+  bool extract_run(std::uint64_t ord) {
     const std::size_t bucket = ord & (buckets_.size() - 1);
-    for (;;) {
-      std::vector<Entry>& b = buckets_[bucket];
-      scanned_ += b.size();
-      bool found = false;
-      double best_time = 0.0;
-      std::size_t best_pos = 0;
-      bool found2 = false;
-      double best2_time = 0.0;
-      std::size_t best2_pos = 0;
-      for (std::size_t i = 0; i < b.size(); ++i) {
-        const Entry& e = b[i];
-        if (e.ord != ord) continue;
-        if (!found || e.time < best_time ||
-            (e.time == best_time &&
-             slab_[e.idx].seq < slab_[b[best_pos].idx].seq)) {
-          // The displaced leader was <= every other entry seen so far,
-          // including the current second place, so it simply becomes the
-          // new second place (if live).
-          if (found && !slab_[b[best_pos].idx].dead) {
-            found2 = true;
-            best2_time = best_time;
-            best2_pos = best_pos;
-          }
-          found = true;
-          best_time = e.time;
-          best_pos = i;
-        } else if (!slab_[e.idx].dead &&
-                   (!found2 || e.time < best2_time ||
-                    (e.time == best2_time &&
-                     slab_[e.idx].seq < slab_[b[best2_pos].idx].seq))) {
-          found2 = true;
-          best2_time = e.time;
-          best2_pos = i;
-        }
-      }
-      if (!found) return false;
-      const std::uint32_t idx = b[best_pos].idx;
-      if (slab_[idx].dead) {
-        remove_at(bucket, best_pos);
+    std::vector<Entry>& b = buckets_[bucket];
+    scanned_ += b.size();
+    std::size_t i = 0;
+    while (i < b.size()) {
+      const Entry& e = b[i];
+      if (e.ord != ord) {
+        ++i;
         continue;
       }
-      peek_bucket_ = bucket;
-      peek_pos_ = best_pos;
-      peek_idx_ = idx;
-      have_peek_ = true;
-      have_runner_ = found2;
-      if (found2) {
-        runner_bucket_ = bucket;
-        runner_pos_ = best2_pos;
-        runner_idx_ = b[best2_pos].idx;
-      }
-      return true;
+      if (!e.dead) run_.push_back(SimEvent{e.time, e.seq, e.net, e.value != 0});
+      // Swap-fill removal; re-examine the entry moved into slot i.
+      b[i] = b.back();
+      b.pop_back();
+      --stored_;
     }
+    if (b.empty()) occ_[bucket >> 6] &= ~(std::uint64_t{1} << (bucket & 63));
+    if (run_.empty()) return false;
+    std::sort(run_.begin(), run_.end(), event_before);
+    // Charge the sort's n·log n to the work metric: a coarse width makes
+    // extraction rare but each sort long, and the retuner has to see that
+    // trade-off or it never shrinks the width.
+    scanned_ += run_.size() *
+                static_cast<std::uint64_t>(std::bit_width(run_.size()));
+    run_ord_ = ord;
+    have_run_ = true;
+    return true;
   }
 
   void jump_to_min_ord() {
     std::uint64_t min_ord = ~std::uint64_t{0};
     for (const auto& b : buckets_) {
       for (const Entry& e : b) {
-        if (!slab_[e.idx].dead && e.ord < min_ord) min_ord = e.ord;
+        if (!e.dead && e.ord < min_ord) min_ord = e.ord;
       }
     }
     cur_ord_ = min_ord;
   }
 
   /// Quadruple the bucket count and redistribute (ord is stored per
-  /// entry, so redistribution is a rehash, not a recompute).
+  /// entry, so redistribution is a rehash, not a recompute).  The run is
+  /// untouched: its events stay addressed by run_ord_, which does not
+  /// depend on the bucket count.
   void grow() {
     std::vector<std::vector<Entry>> old = std::move(buckets_);
     buckets_.assign(old.size() * 4, {});
@@ -350,8 +310,6 @@ class CalendarQueue {
       }
     }
     reset_occupancy();
-    have_peek_ = false;
-    have_runner_ = false;
   }
 
   /// Recompute the occupancy bitmap from scratch (bucket layout changed).
@@ -365,15 +323,23 @@ class CalendarQueue {
   }
 
   /// Periodic width retune: when the measured work per pop (bucket entries
-  /// scanned + empty buckets advanced) climbs past a few units, the fixed
-  /// width no longer matches the schedule's event density and the calendar
-  /// degrades toward a linear scan.  Recompute the width from the median
-  /// inter-event gap of the live events (the classic calendar-queue
-  /// self-sizing rule) and rebuild.  Retuning never changes pop order —
-  /// order is the (time, seq) total order; buckets only accelerate the
-  /// search — and the trigger depends only on the push/pop sequence, so
-  /// runs stay deterministic.
+  /// examined at extraction + empty buckets advanced) climbs past a few
+  /// units, the fixed width no longer matches the schedule's event density
+  /// and the calendar degrades toward a linear scan.  Recompute the width
+  /// from the median inter-event gap of the live events (the classic
+  /// calendar-queue self-sizing rule) and rebuild.  Retuning never changes
+  /// pop order — order is the (time, seq) total order; buckets only
+  /// accelerate the search — and the trigger depends only on the push/pop
+  /// sequence, so runs stay deterministic.
   void maybe_retune() {
+    // Pushes may keep the run alive indefinitely (they append while pops
+    // advance the head); drop the drained prefix so the buffer stays
+    // bounded by the pending count plus one retune window.
+    if (run_head_ > 0) {
+      run_.erase(run_.begin(),
+                 run_.begin() + static_cast<std::ptrdiff_t>(run_head_));
+      run_head_ = 0;
+    }
     const double window = static_cast<double>(pops_);
     const double avg_work =
         static_cast<double>(scanned_ + advances_) / window;
@@ -385,9 +351,12 @@ class CalendarQueue {
 
     std::vector<double> times;
     times.reserve(live_);
+    for (std::size_t i = run_head_; i < run_.size(); ++i) {
+      times.push_back(run_[i].time);
+    }
     for (const auto& b : buckets_) {
       for (const Entry& e : b) {
-        if (!slab_[e.idx].dead) times.push_back(e.time);
+        if (!e.dead) times.push_back(e.time);
       }
     }
     std::sort(times.begin(), times.end());
@@ -401,30 +370,36 @@ class CalendarQueue {
       const auto mid =
           gaps.begin() + static_cast<std::ptrdiff_t>(gaps.size() / 2);
       std::nth_element(gaps.begin(), mid, gaps.end());
-      new_width = 1.5 * gaps[gaps.size() / 2];
-    } else {
+      new_width = 3.0 * gaps[gaps.size() / 2];
+    } else if (!times.empty()) {
       const double span = times.back() - times.front();
       new_width = span > 0.0 ? span / static_cast<double>(live_) : width_;
+    } else {
+      new_width = width_;
     }
     new_width = std::clamp(new_width, 1e-3, 1e7);
     rebuild(new_width);
   }
 
-  /// Re-hash every live event under a new bucket width, dropping
-  /// tombstones and growing the bucket array to at least 2x the live
-  /// count so one rotation spans the whole pending horizon.
+  /// Re-hash every live event (run included) under a new bucket width,
+  /// dropping tombstones and growing the bucket array to at least 2x the
+  /// live count so one rotation spans the whole pending horizon.
   void rebuild(double new_width) {
     width_ = new_width;
     inv_width_ = 1.0 / width_;
     std::vector<Entry> alive;
     alive.reserve(live_);
+    for (std::size_t i = run_head_; i < run_.size(); ++i) {
+      const SimEvent& e = run_[i];
+      alive.push_back({e.time, 0, e.seq, e.net,
+                       e.value ? std::uint8_t{1} : std::uint8_t{0}, 0});
+    }
+    run_.clear();
+    run_head_ = 0;
+    have_run_ = false;
     for (auto& b : buckets_) {
       for (const Entry& e : b) {
-        if (slab_[e.idx].dead) {
-          free_.push_back(e.idx);
-        } else {
-          alive.push_back(e);
-        }
+        if (!e.dead) alive.push_back(e);
       }
       b.clear();
     }
@@ -440,38 +415,27 @@ class CalendarQueue {
     stored_ = alive.size();
     cur_ord_ = alive.empty() ? 0 : min_ord;
     reset_occupancy();
-    have_peek_ = false;
-    have_runner_ = false;
   }
 
   double width_;
   double inv_width_;
-  std::vector<Slot> slab_;
-  std::vector<std::uint32_t> free_;
   std::vector<std::vector<Entry>> buckets_;
   std::vector<std::uint64_t> occ_;  ///< one bit per bucket: nonempty
   std::uint64_t cur_ord_ = 0;
-  std::size_t live_ = 0;    ///< events not tombstoned
-  std::size_t stored_ = 0;  ///< bucket entries incl. tombstones
+  std::size_t live_ = 0;    ///< events not tombstoned (run included)
+  std::size_t stored_ = 0;  ///< bucket entries incl. tombstones, excl. run
+
+  // Drain run: the extracted current ordinal, sorted by (time, seq);
+  // run_[run_head_..] are pending, earlier entries already popped.
+  std::vector<SimEvent> run_;
+  std::size_t run_head_ = 0;
+  std::uint64_t run_ord_ = 0;
+  bool have_run_ = false;
 
   std::uint64_t pops_ = 0;           ///< pops since the last retune check
   std::uint64_t retune_pops_ = 256;  ///< pops until the next check
   std::uint64_t scanned_ = 0;   ///< bucket entries examined in the window
   std::uint64_t advances_ = 0;  ///< minimum-search bucket jumps in the window
-
-  bool have_peek_ = false;
-  std::size_t peek_bucket_ = 0;
-  std::size_t peek_pos_ = 0;
-  std::uint32_t peek_idx_ = 0;
-  // Second-smallest live event, maintained alongside the peek cache so the
-  // common pop / cancel-of-minimum promotes in O(1) instead of re-scanning.
-  // Invariant: have_runner_ implies have_peek_, the runner is live, and
-  // (runner time, seq) <= every live event except the cached minimum.
-  bool have_runner_ = false;
-  std::size_t runner_bucket_ = 0;
-  std::size_t runner_pos_ = 0;
-  std::uint32_t runner_idx_ = 0;
-  SimEvent peeked_{};
 };
 
 }  // namespace dhtrng::sim

@@ -63,6 +63,26 @@ FlatNetlist FlatNetlist::build(const Circuit& circuit) {
       f.clock_index[clocks[c].net] = static_cast<std::int32_t>(c);
     }
   }
+
+  // Fold the per-net and per-gate reads of the event loop into single
+  // records (pure re-packaging of the arrays built above).
+  f.net_meta.resize(f.net_count);
+  for (std::size_t n = 0; n < f.net_count; ++n) {
+    NetMeta& m = f.net_meta[n];
+    m.fanout_begin = f.fanout_off[n];
+    m.fanout_end = f.fanout_off[n + 1];
+    m.dff_begin = f.dff_off[n];
+    m.dff_end = f.dff_off[n + 1];
+    m.clock = f.clock_index[n];
+  }
+  f.gate_meta.resize(gates.size());
+  for (std::size_t g = 0; g < gates.size(); ++g) {
+    GateMeta& m = f.gate_meta[g];
+    m.in_begin = f.gate_in_off[g];
+    m.in_end = f.gate_in_off[g + 1];
+    m.output = f.gate_output[g];
+    m.kind = f.gate_kind[g];
+  }
   return f;
 }
 

@@ -48,6 +48,31 @@ struct FlatNetlist {
   /// Index into Circuit::clocks() of the net's clock source, or -1.
   std::vector<std::int32_t> clock_index;
 
+  /// Per-net hot metadata: everything the event loop reads for an applied
+  /// net change (fanout span, flip-flop span, clock source) folded into
+  /// one 20-byte record, so the common event touches one cache line where
+  /// the parallel offset arrays would touch three.  Redundant with the
+  /// CSR arrays above, which remain the canonical representation.
+  struct NetMeta {
+    std::uint32_t fanout_begin = 0;
+    std::uint32_t fanout_end = 0;
+    std::uint32_t dff_begin = 0;
+    std::uint32_t dff_end = 0;
+    std::int32_t clock = -1;
+  };
+  std::vector<NetMeta> net_meta;  ///< size nets
+
+  /// Per-gate hot metadata: the evaluation + scheduling reads (input
+  /// span, kind, output net) in one 16-byte record.  Redundant with the
+  /// gate arrays above.
+  struct GateMeta {
+    std::uint32_t in_begin = 0;
+    std::uint32_t in_end = 0;
+    NetId output = 0;
+    GateKind kind{};
+  };
+  std::vector<GateMeta> gate_meta;  ///< size gates
+
   static FlatNetlist build(const Circuit& circuit);
 };
 

@@ -63,13 +63,10 @@ Simulator::Simulator(const Circuit& circuit, SimConfig config)
       config_(config),
       flat_(FlatNetlist::build(circuit)),
       value_(circuit.net_count(), 0),
-      projected_(circuit.net_count(), 0),
+      sched_(circuit.net_count()),
       last_change_(circuit.net_count(), -1e18),
-      last_sched_time_(circuit.net_count(), -1.0),
-      last_sched_seq_(circuit.net_count(), 0),
       toggles_(circuit.net_count(), 0),
       cal_(pick_bucket_width(circuit, config)),
-      last_event_idx_(circuit.net_count(), 0),
       shared_noise_(config.gate_jitter.correlated_sigma_ps,
                     config.seed ^ 0xabcdef1234567890ULL),
       meta_rng_(config.seed ^ 0x5bd1e995cafef00dULL),
@@ -83,7 +80,7 @@ Simulator::Simulator(const Circuit& circuit, SimConfig config)
   const auto& initial = circuit.initial_values();
   for (std::size_t n = 0; n < value_.size(); ++n) {
     value_[n] = initial[n] ? 1 : 0;
-    projected_[n] = value_[n];
+    sched_[n].projected = value_[n];
   }
 
   // The shared AR(1) supply trajectory batches the same way as the
@@ -100,6 +97,19 @@ Simulator::Simulator(const Circuit& circuit, SimConfig config)
         std::sqrt(circuit.gates()[g].delay_ps / kReferenceDelayPs);
     gate_noise_.emplace_back(p, seeder.next(), &shared_noise_);
     gate_noise_.back().set_batch(config.noise_batch);
+  }
+
+  fast_noise_ = config.noise_mode == noise::NoiseMode::Fast;
+  if (fast_noise_) {
+    shared_noise_.set_mode(noise::NoiseMode::Fast);
+    for (std::size_t g = 0; g < gate_noise_.size(); ++g) {
+      // Complete delays are precomputed per block: nominal (PVT-scaled)
+      // base plus white+flicker, clamped at consumption to the same floor
+      // the exact path applies.
+      gate_noise_[g].enable_fast_delay(
+          flat_.gate_delay_ps[g] * config.scaling.delay, kMinDelayPs,
+          config.scaling);
+    }
   }
 
   // Kick-start: schedule first clock edges and settle gates whose output
@@ -121,6 +131,7 @@ Simulator::Simulator(const Circuit& circuit, SimConfig config)
 }
 
 double Simulator::gate_delay_with_jitter(std::size_t gate_index) {
+  if (fast_noise_) return gate_noise_[gate_index].next_delay_fast();
   const double nominal = flat_.gate_delay_ps[gate_index] * config_.scaling.delay;
   const double jitter =
       gate_noise_[gate_index].next_edge_jitter(config_.scaling);
@@ -129,33 +140,33 @@ double Simulator::gate_delay_with_jitter(std::size_t gate_index) {
 
 void Simulator::schedule(NetId net, bool value, double delay_from_now) {
   double t = now_ + delay_from_now;
+  NetSched& s = sched_[net];
   // Per-net causal ordering: a later-issued transition may not overtake an
   // earlier one (jitter could otherwise reorder them).
-  if (t <= last_sched_time_[net]) t = last_sched_time_[net] + kMinDelayPs;
+  if (t <= s.time) t = s.time + kMinDelayPs;
 
-  const bool pending = last_sched_time_[net] > now_;
-  if (pending && (projected_[net] != 0) != value &&
-      value == (value_[net] != 0) &&
-      t - last_sched_time_[net] < config_.min_pulse_ps) {
+  const bool pending = s.time > now_;
+  if (pending && (s.projected != 0) != value && value == (value_[net] != 0) &&
+      t - s.time < config_.min_pulse_ps) {
     // Runt pulse: the pending transition would be undone before it could
     // propagate a full pulse width; swallow both (inertial delay).
     if (config_.scheduler == Scheduler::Calendar) {
-      cal_.cancel(last_event_idx_[net]);
+      cal_.cancel(s.time, s.seq);
     } else {
-      dead_events_.push_back(last_sched_seq_[net]);
+      dead_events_.push_back(s.seq);
     }
-    projected_[net] = value_[net];
-    last_sched_time_[net] = now_;
+    s.projected = value_[net];
+    s.time = now_;
     ++runts_filtered_;
     return;
   }
-  if ((projected_[net] != 0) == value) return;  // no change to project
+  if ((s.projected != 0) == value) return;  // no change to project
 
-  projected_[net] = value ? 1 : 0;
-  last_sched_time_[net] = t;
-  last_sched_seq_[net] = ++seq_;
+  s.projected = value ? 1 : 0;
+  s.time = t;
+  s.seq = ++seq_;
   if (config_.scheduler == Scheduler::Calendar) {
-    last_event_idx_[net] = cal_.push(t, seq_, net, value);
+    cal_.push(t, seq_, net, value);
   } else {
     queue_.push(Event{t, seq_, net, value});
   }
@@ -219,11 +230,12 @@ void Simulator::apply_net_change(NetId net, bool value) {
   ++toggles_[net];
   if (value && edge_recorded_[net]) edge_times_[net].push_back(now_);
 
+  const FlatNetlist::NetMeta& m = flat_.net_meta[net];
+
   // Clock source nets regenerate their own next edge.
   if (config_.scheduler == Scheduler::Calendar) {
-    const std::int32_t ci = flat_.clock_index[net];
-    if (ci >= 0) {
-      const ClockSpec& c = circuit_.clocks()[static_cast<std::size_t>(ci)];
+    if (m.clock >= 0) {
+      const ClockSpec& c = circuit_.clocks()[static_cast<std::size_t>(m.clock)];
       const double high = c.period_ps * c.duty;
       schedule(net, !value, value ? high : c.period_ps - high);
     }
@@ -240,8 +252,7 @@ void Simulator::apply_net_change(NetId net, bool value) {
 
   // Rising clock edge: sample every flip-flop on this clock.
   if (value) {
-    for (std::uint32_t d = flat_.dff_off[net]; d < flat_.dff_off[net + 1];
-         ++d) {
+    for (std::uint32_t d = m.dff_begin; d < m.dff_end; ++d) {
       const std::uint32_t f = flat_.dff_by_clk[d];
       const Dff& ff = circuit_.dffs()[f];
       const bool d_now = value_[ff.d] != 0;
@@ -268,23 +279,21 @@ void Simulator::apply_net_change(NetId net, bool value) {
   }
 
   if (config_.scheduler == Scheduler::Calendar) {
-    // Hot path: CSR fanout, allocation-free gate evaluation.
+    // Hot path: CSR fanout, allocation-free gate evaluation, one merged
+    // metadata record per gate.
     const std::uint8_t* values = value_.data();
     const NetId* ins = flat_.gate_in.data();
-    for (std::uint32_t o = flat_.fanout_off[net]; o < flat_.fanout_off[net + 1];
-         ++o) {
+    for (std::uint32_t o = m.fanout_begin; o < m.fanout_end; ++o) {
       const std::uint32_t g = flat_.fanout[o];
-      const std::uint32_t lo = flat_.gate_in_off[g];
-      const bool out = evaluate_gate_flat(flat_.gate_kind[g], values,
-                                          ins + lo,
-                                          flat_.gate_in_off[g + 1] - lo);
-      schedule(flat_.gate_output[g], out, gate_delay_with_jitter(g));
+      const FlatNetlist::GateMeta& gm = flat_.gate_meta[g];
+      const bool out = evaluate_gate_flat(gm.kind, values, ins + gm.in_begin,
+                                          gm.in_end - gm.in_begin);
+      schedule(gm.output, out, gate_delay_with_jitter(g));
     }
   } else {
     // Reference oracle: the historical per-event-allocating evaluation,
     // retained unchanged as the baseline the microbench measures against.
-    for (std::uint32_t o = flat_.fanout_off[net]; o < flat_.fanout_off[net + 1];
-         ++o) {
+    for (std::uint32_t o = m.fanout_begin; o < m.fanout_end; ++o) {
       const std::uint32_t g = flat_.fanout[o];
       const Gate& gate = circuit_.gates()[g];
       std::vector<bool> ins(gate.inputs.size());

@@ -58,6 +58,12 @@ struct SimConfig {
   /// Block size for the per-gate white/flicker noise draws (<= 1 draws per
   /// event).  Any value yields bit-identical waveforms.
   std::size_t noise_batch = 64;
+  /// Noise fidelity (see noise::NoiseMode).  Exact is the default and the
+  /// only mode the golden-waveform digests apply to; Fast swaps the
+  /// per-gate jitter for SIMD-batched pre-combined delay blocks — still
+  /// deterministic per (seed, mode) and identical across dispatch tiers,
+  /// but a different stream, intended for bulk generation and perf runs.
+  noise::NoiseMode noise_mode = noise::NoiseMode::Exact;
 };
 
 /// Structured runaway-guard error: thrown when the event count exceeds
@@ -152,23 +158,30 @@ class Simulator {
   const Circuit& circuit_;
   SimConfig config_;
   FlatNetlist flat_;  ///< contiguous netlist view, built once at elaboration
+  bool fast_noise_ = false;  ///< config_.noise_mode == Fast, hoisted
   double now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t events_processed_ = 0;
   std::uint64_t metastable_samples_ = 0;
   std::uint64_t runts_filtered_ = 0;
 
-  std::vector<std::uint8_t> value_;        // current net values
-  std::vector<std::uint8_t> projected_;    // value after pending events
+  /// Per-net scheduling state, merged into one record so the runt filter
+  /// and push bookkeeping in schedule() touch a single cache line.
+  struct NetSched {
+    double time = -1.0;          ///< last scheduled transition time
+    std::uint64_t seq = 0;       ///< its push sequence number
+    std::uint8_t projected = 0;  ///< net value after pending events
+  };
+
+  std::vector<std::uint8_t> value_;  // current net values (dense, gate eval)
+  std::vector<NetSched> sched_;
   std::vector<double> last_change_;
-  std::vector<double> last_sched_time_;
-  std::vector<std::uint64_t> last_sched_seq_;
   std::vector<std::uint64_t> toggles_;
 
-  // Calendar engine: slab-backed bucket queue + per-net handle of the
-  // latest scheduled event (the only one the runt filter may cancel).
+  // Calendar engine: bucket queue; the runt filter cancels by the
+  // (time, seq) key of a net's latest scheduled event, which sched_
+  // already tracks.
   CalendarQueue cal_;
-  std::vector<std::uint32_t> last_event_idx_;
 
   // Reference engine: the historical binary heap and cancelled-seq list.
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;

@@ -81,6 +81,19 @@ class Xoshiro256 {
   /// noise path amortizes the call overhead.
   void gaussian_fill(double* out, std::size_t n) noexcept;
 
+  /// Fast-noise mode: batched Box-Muller through the dispatched SIMD
+  /// kernels (support/simd_noise.h).  NOT bit-compatible with the
+  /// gaussian() stream — this is the documented fast-mode relaxation —
+  /// and it leaves the cached-pair state untouched.  Every dispatch tier
+  /// produces identical doubles.  Values come in pairs, so an odd `n`
+  /// consumes one extra draw.  Defined in simd_noise.cpp.
+  void gaussian_fill_fast(double* out, std::size_t n) noexcept;
+
+  /// Raw 64-bit block fill (the fast-noise kernels' input stream).
+  void fill_raw(std::uint64_t* out, std::size_t n) noexcept {
+    for (std::size_t i = 0; i < n; ++i) out[i] = (*this)();
+  }
+
   /// Normal with given mean / standard deviation.
   double gaussian(double mean, double sigma) noexcept {
     return mean + sigma * gaussian();

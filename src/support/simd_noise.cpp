@@ -1,0 +1,216 @@
+// Dispatch layer for the fast-noise kernels + the scalar tier (this TU
+// compiles simd_noise_kernels.inc with baseline flags; the AVX2/NEON tiers
+// recompile the same include in their own TUs — see CMakeLists.txt).
+
+#include "support/simd_noise.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "support/rng.h"
+
+#define DHTRNG_KERNEL_NS scalar_k
+#include "support/simd_noise_kernels.inc"
+#undef DHTRNG_KERNEL_NS
+
+namespace dhtrng::support::simd {
+
+#if defined(__x86_64__) || defined(_M_X64)
+// Defined in simd_noise_avx2.cpp (compiled with -mavx2 -mfma); only ever
+// called after the runtime CPU check.
+namespace avx2_k {
+void boxmuller_transform(const std::uint64_t* raw, double* out,
+                         std::size_t n);
+void sin2pi_batch(const double* turns, double* out, std::size_t n);
+void normal_cdf_batch(const double* x, double* out, std::size_t n);
+std::uint64_t uniform_lt_mask64(const std::uint64_t* raw, const double* p);
+void xoshiro_soa_advance(std::uint64_t s[4][64], std::uint64_t* out);
+}  // namespace avx2_k
+#endif
+
+#if defined(__aarch64__)
+// Defined in simd_noise_neon.cpp; NEON is baseline on aarch64.
+namespace neon_k {
+void boxmuller_transform(const std::uint64_t* raw, double* out,
+                         std::size_t n);
+void sin2pi_batch(const double* turns, double* out, std::size_t n);
+void normal_cdf_batch(const double* x, double* out, std::size_t n);
+std::uint64_t uniform_lt_mask64(const std::uint64_t* raw, const double* p);
+void xoshiro_soa_advance(std::uint64_t s[4][64], std::uint64_t* out);
+}  // namespace neon_k
+#endif
+
+namespace {
+
+Tier hardware_tier() {
+#if defined(__aarch64__)
+  return Tier::Neon;
+#elif defined(__x86_64__) || defined(_M_X64)
+#if defined(__GNUC__) || defined(__clang__)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return Tier::Avx2;
+  }
+#endif
+  return Tier::Scalar;
+#else
+  return Tier::Scalar;
+#endif
+}
+
+std::atomic<Tier>& active_tier_slot() {
+  static std::atomic<Tier> tier{detected_tier()};
+  return tier;
+}
+
+}  // namespace
+
+const char* tier_name(Tier t) {
+  switch (t) {
+    case Tier::Avx2:
+      return "avx2";
+    case Tier::Neon:
+      return "neon";
+    case Tier::Scalar:
+      break;
+  }
+  return "scalar";
+}
+
+Tier detected_tier() {
+  static const Tier tier = [] {
+    const char* force = std::getenv("DHTRNG_FORCE_SCALAR");
+    if (force != nullptr && force[0] == '1') return Tier::Scalar;
+    return hardware_tier();
+  }();
+  return tier;
+}
+
+Tier active_tier() { return active_tier_slot().load(std::memory_order_relaxed); }
+
+Tier force_tier(Tier t) {
+  if (t != Tier::Scalar && t != hardware_tier()) t = Tier::Scalar;
+  return active_tier_slot().exchange(t, std::memory_order_relaxed);
+}
+
+void boxmuller_transform(const std::uint64_t* raw, double* out,
+                         std::size_t n) {
+  switch (active_tier()) {
+#if defined(__x86_64__) || defined(_M_X64)
+    case Tier::Avx2:
+      avx2_k::boxmuller_transform(raw, out, n);
+      return;
+#endif
+#if defined(__aarch64__)
+    case Tier::Neon:
+      neon_k::boxmuller_transform(raw, out, n);
+      return;
+#endif
+    default:
+      scalar_k::boxmuller_transform(raw, out, n);
+      return;
+  }
+}
+
+void sin2pi_batch(const double* turns, double* out, std::size_t n) {
+  switch (active_tier()) {
+#if defined(__x86_64__) || defined(_M_X64)
+    case Tier::Avx2:
+      avx2_k::sin2pi_batch(turns, out, n);
+      return;
+#endif
+#if defined(__aarch64__)
+    case Tier::Neon:
+      neon_k::sin2pi_batch(turns, out, n);
+      return;
+#endif
+    default:
+      scalar_k::sin2pi_batch(turns, out, n);
+      return;
+  }
+}
+
+void normal_cdf_batch(const double* x, double* out, std::size_t n) {
+  switch (active_tier()) {
+#if defined(__x86_64__) || defined(_M_X64)
+    case Tier::Avx2:
+      avx2_k::normal_cdf_batch(x, out, n);
+      return;
+#endif
+#if defined(__aarch64__)
+    case Tier::Neon:
+      neon_k::normal_cdf_batch(x, out, n);
+      return;
+#endif
+    default:
+      scalar_k::normal_cdf_batch(x, out, n);
+      return;
+  }
+}
+
+std::uint64_t uniform_lt_mask64(const std::uint64_t* raw, const double* p) {
+  switch (active_tier()) {
+#if defined(__x86_64__) || defined(_M_X64)
+    case Tier::Avx2:
+      return avx2_k::uniform_lt_mask64(raw, p);
+#endif
+#if defined(__aarch64__)
+    case Tier::Neon:
+      return neon_k::uniform_lt_mask64(raw, p);
+#endif
+    default:
+      return scalar_k::uniform_lt_mask64(raw, p);
+  }
+}
+
+void XoshiroSoA::seed_lane(std::size_t lane, std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (int j = 0; j < 4; ++j) s[j][lane] = sm.next();
+}
+
+void XoshiroSoA::advance(std::uint64_t* out) {
+  switch (active_tier()) {
+#if defined(__x86_64__) || defined(_M_X64)
+    case Tier::Avx2:
+      avx2_k::xoshiro_soa_advance(s, out);
+      return;
+#endif
+#if defined(__aarch64__)
+    case Tier::Neon:
+      neon_k::xoshiro_soa_advance(s, out);
+      return;
+#endif
+    default:
+      scalar_k::xoshiro_soa_advance(s, out);
+      return;
+  }
+}
+
+void XoshiroSoA::fill(std::uint64_t* out, std::size_t n) {
+  for (std::size_t i = 0; i + 64 <= n; i += 64) advance(out + i);
+}
+
+}  // namespace dhtrng::support::simd
+
+namespace dhtrng::support {
+
+void Xoshiro256::gaussian_fill_fast(double* out, std::size_t n) noexcept {
+  std::uint64_t raw[256];
+  std::size_t done = 0;
+  while (n - done >= 2) {
+    const std::size_t chunk = std::min<std::size_t>((n - done) & ~1ULL, 256);
+    fill_raw(raw, chunk);
+    simd::boxmuller_transform(raw, out + done, chunk);
+    done += chunk;
+  }
+  if (done < n) {
+    // Odd tail: Box-Muller produces pairs, so one draw is discarded (the
+    // documented fast-mode stream dependence on fill boundaries).
+    double pair[2];
+    fill_raw(raw, 2);
+    simd::boxmuller_transform(raw, pair, 2);
+    out[done] = pair[0];
+  }
+}
+
+}  // namespace dhtrng::support

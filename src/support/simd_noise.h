@@ -1,0 +1,86 @@
+// Runtime-dispatched SIMD noise kernels — the fast-noise mode's math core.
+//
+// The exact-doubles noise pipeline (Xoshiro256::gaussian_fill,
+// FlickerNoise::fill, SharedSupplyNoise) draws one double at a time through
+// the Marsaglia polar method; its value stream is pinned by the golden
+// waveform digests and cannot be reordered.  The kernels here implement the
+// documented `fast-noise` relaxation: batched Box-Muller and polynomial
+// special functions over whole blocks, laid out so the compiler vectorizes
+// them (AVX2 on x86-64, NEON on aarch64, plain scalar elsewhere).
+//
+// Dispatch contract: every tier produces *bit-identical* doubles.  All
+// tiers compile the same kernel source (simd_noise_kernels.inc) with
+// contraction disabled and explicit std::fma, and IEEE-754 makes +, -, *,
+// /, sqrt and fma deterministic per lane — so vector width never changes a
+// result, only wall-clock.  tests/noise/test_simd_dispatch.cpp asserts
+// exact equality between the active tier and the forced-scalar path; the
+// documented compatibility bound for future platforms is <= 2 ulp.
+//
+// Tier selection: the best tier the CPU supports, clamped to Scalar when
+// the environment variable DHTRNG_FORCE_SCALAR=1 is set (the CI parity
+// lane), or overridden programmatically with force_tier() (tests).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dhtrng::support {
+class Xoshiro256;
+}
+
+namespace dhtrng::support::simd {
+
+enum class Tier { Scalar, Avx2, Neon };
+
+const char* tier_name(Tier t);
+
+/// Best tier this CPU supports, after the DHTRNG_FORCE_SCALAR clamp.
+/// Evaluated once per process.
+Tier detected_tier();
+
+/// Tier the kernels currently dispatch to (detected_tier() unless
+/// force_tier() changed it).
+Tier active_tier();
+
+/// Test hook: force dispatch to `t` (clamped to what the CPU supports).
+/// Returns the previously active tier.
+Tier force_tier(Tier t);
+
+/// Batched Box-Muller: consumes `n` raw 64-bit words and writes `n`
+/// standard normals (`n` must be even; words are consumed in groups of
+/// up to 4 pairs).  Deterministic: out[i] depends only on raw[] and i.
+void boxmuller_transform(const std::uint64_t* raw, double* out,
+                         std::size_t n);
+
+/// out[i] = sin(2*pi*turns[i]) for turns in [0, 2); absolute error < 1e-15.
+void sin2pi_batch(const double* turns, double* out, std::size_t n);
+
+/// out[i] = Phi(x[i]), the standard normal CDF, via the Abramowitz-Stegun
+/// 7.1.26 rational approximation (absolute error < 1e-6 — documented
+/// fast-mode accuracy; exact mode keeps support::normal_cdf).
+void normal_cdf_batch(const double* x, double* out, std::size_t n);
+
+/// Bit i of the result is set iff the uniform in [0,1) derived from raw[i]
+/// is < p[i] — 64 independent Bernoulli trials packed into one word (the
+/// bitsliced backend's coin flips).  Exact in every tier.
+std::uint64_t uniform_lt_mask64(const std::uint64_t* raw, const double* p);
+
+/// 64 parallel xoshiro256** streams in structure-of-arrays layout: state
+/// word j of lane l is s[j][l].  One advance() yields 64 independent
+/// uint64s (one per lane).  Seeded per lane via SplitMix64 like the scalar
+/// Xoshiro256, so lanes are as independent as 64 separately-seeded scalar
+/// generators.
+struct XoshiroSoA {
+  std::uint64_t s[4][64];
+
+  void seed_lane(std::size_t lane, std::uint64_t seed);
+
+  /// out[l] = next value of lane l's stream, for all 64 lanes.
+  void advance(std::uint64_t* out);
+
+  /// Fill `n` words (n a multiple of 64) lane-major: out[k*64 + l] is the
+  /// k-th draw of lane l.
+  void fill(std::uint64_t* out, std::size_t n);
+};
+
+}  // namespace dhtrng::support::simd

@@ -1,0 +1,11 @@
+// NEON tier of the fast-noise kernels: same source as the scalar tier
+// (simd_noise_kernels.inc).  NEON is baseline on aarch64, so no extra
+// flags are needed — the fixed-width group loops vectorize 2 doubles wide
+// and std::fma maps to fused multiply-add instructions.
+#if defined(__aarch64__)
+
+#define DHTRNG_KERNEL_NS neon_k
+#include "support/simd_noise_kernels.inc"
+#undef DHTRNG_KERNEL_NS
+
+#endif

@@ -65,7 +65,6 @@ TEST(CalendarQueue, MatchesHeapSemanticsUnderRandomWorkload) {
     CalendarQueue q(25.0);
     support::Xoshiro256 rng(seed);
     std::vector<SimEvent> expected;
-    std::vector<std::uint32_t> handles;
     std::uint64_t seq = 0;
     double now = 0.0;
     std::vector<SimEvent> popped;
@@ -75,7 +74,7 @@ TEST(CalendarQueue, MatchesHeapSemanticsUnderRandomWorkload) {
         const double t = now + rng.uniform(0.0, 400.0);
         const NetId net = static_cast<NetId>(rng.below(11));
         const bool val = rng.below(2) == 1;
-        handles.push_back(q.push(t, seq, net, val));
+        q.push(t, seq, net, val);
         expected.push_back({t, seq, net, val});
         ++seq;
       } else if (r < 0.85) {
@@ -91,9 +90,8 @@ TEST(CalendarQueue, MatchesHeapSemanticsUnderRandomWorkload) {
             std::any_of(popped.begin(), popped.end(),
                         [&](const SimEvent& e) { return e.seq == victim; });
         if (!already_popped) {
-          q.cancel(handles[pick]);
+          q.cancel(expected[pick].time, victim);
           expected.erase(expected.begin() + static_cast<std::ptrdiff_t>(pick));
-          handles.erase(handles.begin() + static_cast<std::ptrdiff_t>(pick));
         }
       }
       if (!q.empty()) {
@@ -115,10 +113,10 @@ TEST(CalendarQueue, MatchesHeapSemanticsUnderRandomWorkload) {
 
 TEST(CalendarQueue, CancelPeekedMinimumReScans) {
   CalendarQueue q(10.0);
-  const std::uint32_t a = q.push(5.0, 0, 1, true);
+  q.push(5.0, 0, 1, true);
   q.push(9.0, 1, 2, false);
   ASSERT_EQ(q.peek()->net, 1u);  // cache the minimum...
-  q.cancel(a);                   // ...then tombstone it
+  q.cancel(5.0, 0);              // ...then tombstone it
   ASSERT_NE(q.peek(), nullptr);
   EXPECT_EQ(q.peek()->net, 2u);
   EXPECT_EQ(q.pop().time, 9.0);
@@ -128,9 +126,9 @@ TEST(CalendarQueue, CancelPeekedMinimumReScans) {
 TEST(CalendarQueue, CancelNonMinimumKeepsPeek) {
   CalendarQueue q(10.0);
   q.push(5.0, 0, 1, true);
-  const std::uint32_t b = q.push(9.0, 1, 2, false);
+  q.push(9.0, 1, 2, false);
   ASSERT_EQ(q.peek()->net, 1u);
-  q.cancel(b);
+  q.cancel(9.0, 1);
   EXPECT_EQ(q.peek()->net, 1u);
   EXPECT_EQ(q.live(), 1u);
 }
@@ -182,7 +180,7 @@ TEST(CalendarQueue, RetunePreservesOrderOnMistunedWidth) {
   EXPECT_LT(q.bucket_width_ps(), 1.0e6) << "retune never fired";
 }
 
-TEST(CalendarQueue, SlotsAreRecycledAfterPop) {
+TEST(CalendarQueue, EntriesAreReclaimedAfterPop) {
   CalendarQueue q(10.0);
   for (int round = 0; round < 100; ++round) {
     for (std::uint64_t s = 0; s < 8; ++s) {
@@ -190,7 +188,8 @@ TEST(CalendarQueue, SlotsAreRecycledAfterPop) {
     }
     while (!q.empty()) q.pop();
   }
-  // The slab free list must cap memory: stored() counts live entries only.
+  // Popped entries leave the buckets immediately: stored() counts queued
+  // entries (incl. tombstones), so a drained queue stores nothing.
   EXPECT_EQ(q.stored(), 0u);
 }
 
@@ -213,8 +212,7 @@ TEST(CalendarQueue, RunnerUpPromotionKeepsOrderThroughCancelAndPush) {
 
   // Cancel the minimum: the runner (10) must be promoted, not re-scanned
   // into a wrong candidate.
-  const std::uint32_t idx5 = 4;  // fifth push in an empty slab -> slot 4
-  q.cancel(idx5);
+  q.cancel(5.0, 4);
   EXPECT_EQ(q.peek()->time, 10.0);
 
   auto evs = drain(q);
