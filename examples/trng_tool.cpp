@@ -11,12 +11,15 @@
 //   trng_tool fetch    [--host=H] [--port=P] [--unix=PATH] [--bytes=N]
 //                      [--quality=raw|conditioned|drbg] [--format=hex|bin]
 //   trng_tool stats    [--host=H] [--port=P] [--unix=PATH]
+//   trng_tool cert     [--host=H] [--port=P] [--unix=PATH]
 //
 // `generate` writes to stdout; `evaluate` runs the quick statistical
 // screen (bias, ACF, core SP 800-90B estimators, IID permutation test);
 // `report` renders the full characterization report (all suites);
 // `serve` runs the entropy-as-a-service daemon until SIGINT/SIGTERM;
-// `fetch` and `stats` are protocol clients against a running daemon.
+// `fetch`, `stats` and `cert` are protocol clients against a running
+// daemon (`cert` dumps the live streaming-certification snapshots —
+// per-producer and merged SP 800-22/90B accumulators).
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -244,12 +247,18 @@ int cmd_stats(int argc, char** argv) {
   return 0;
 }
 
+int cmd_cert(int argc, char** argv) {
+  auto client = connect_client(argc, argv);
+  std::fputs(client.cert().c_str(), stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s generate|evaluate|report|serve|fetch|stats "
+                 "usage: %s generate|evaluate|report|serve|fetch|stats|cert "
                  "[--device=] [--bits=] [--seed=] [--backend=] [--format=] "
                  "[--post=] [--port=] [--unix=] [--bytes=] [--quality=]\n",
                  argv[0]);
@@ -263,6 +272,7 @@ int main(int argc, char** argv) {
     if (cmd == "serve") return cmd_serve(argc, argv);
     if (cmd == "fetch") return cmd_fetch(argc, argv);
     if (cmd == "stats") return cmd_stats(argc, argv);
+    if (cmd == "cert") return cmd_cert(argc, argv);
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "%s: %s\n", cmd.c_str(), ex.what());
     return 1;

@@ -1,5 +1,6 @@
 #include "core/entropy_pool.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "core/dhtrng.h"
@@ -18,9 +19,21 @@ EntropyPool::EntropyPool(EntropyPoolConfig config, SourceFactory factory)
     throw std::invalid_argument("EntropyPool: block_bits must be a positive "
                                 "multiple of 8");
   }
+  // Clamp the tracker geometry to the largest power of two dividing
+  // block_bits (>= 8 since block_bits is a multiple of 8): producers feed
+  // whole blocks, so this keeps every tracker permanently block- and
+  // window-aligned and the pool-wide merge exact.
+  tracker_config_ = config_.tracker;
+  const std::size_t pow2_divisor =
+      config_.block_bits & (~config_.block_bits + 1);
+  tracker_config_.block_len =
+      std::min(tracker_config_.block_len, pow2_divisor);
+  tracker_config_.window_bits =
+      std::min(tracker_config_.window_bits, pow2_divisor);
   states_.reserve(config_.producers);
   for (std::size_t i = 0; i < config_.producers; ++i) {
-    auto state = std::make_unique<ProducerState>(config_.min_entropy_per_bit);
+    auto state = std::make_unique<ProducerState>(config_.min_entropy_per_bit,
+                                                 tracker_config_);
     state->source = factory_(i, derived_seed(i, 0));
     states_.push_back(std::move(state));
   }
@@ -114,6 +127,14 @@ void EntropyPool::producer_loop(std::size_t index) {
     }
 
     st.consecutive_alarms = 0;
+    if (config_.certify) {
+      // The block passed the health gate, so it is part of the served
+      // stream — exactly what the online certification tracks.  Whole
+      // blocks only, under the lock, so cert_snapshot() always observes
+      // block-aligned tracker state.
+      std::lock_guard<std::mutex> lock(st.tracker_mutex);
+      st.tracker.feed_bytes(block.data(), block.size());
+    }
     for (std::uint8_t v : block) {
       if (!buffer_.push(v)) return;  // pool stopped while we were blocked
     }
@@ -166,6 +187,25 @@ std::uint64_t EntropyPool::reseed_events() const {
 
 std::uint64_t EntropyPool::bytes_produced() const {
   return bytes_produced_.load(std::memory_order_relaxed);
+}
+
+PoolCertSnapshot EntropyPool::cert_snapshot() const {
+  PoolCertSnapshot snap;
+  snap.enabled = config_.certify;
+  snap.tracker = tracker_config_;
+  if (!config_.certify) return snap;
+  stats::streaming::SourceTracker merged(tracker_config_);
+  snap.producers.reserve(states_.size());
+  for (const auto& st : states_) {
+    std::lock_guard<std::mutex> lock(st->tracker_mutex);
+    snap.producers.push_back(st->tracker.snapshot());
+    // Exact merge: every tracker holds whole blocks, and the clamped
+    // geometry divides block_bits, so the alignment precondition always
+    // holds.
+    merged.merge(st->tracker);
+  }
+  snap.merged = merged.snapshot();
+  return snap;
 }
 
 PoolHealthSnapshot EntropyPool::snapshot() const {

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -29,6 +30,7 @@
 #include "core/dhtrng_soa.h"
 #include "core/trng.h"
 #include "stats/health.h"
+#include "stats/streaming.h"
 #include "support/ring_buffer.h"
 
 namespace dhtrng::core {
@@ -46,6 +48,14 @@ struct EntropyPoolConfig {
   std::size_t max_reseeds = 3;
   /// Master seed; per-producer seeds are SplitMix64-derived from it.
   std::uint64_t seed = 1;
+  /// Run a stats::streaming::SourceTracker per producer over every block
+  /// that passes the health gate (i.e. the exact served stream), powering
+  /// cert_snapshot() and the service CERT verb.
+  bool certify = true;
+  /// Tracker geometry.  block_len/window_bits are clamped down to the
+  /// largest power of two dividing block_bits, so per-block feeding keeps
+  /// every tracker block/window-aligned and the merged pool view exact.
+  stats::streaming::TrackerConfig tracker;
 };
 
 /// Thrown by get_bytes() when every producer has been retired.
@@ -67,6 +77,18 @@ struct PoolHealthSnapshot {
   std::uint64_t reseeds = 0;        ///< quarantines cured by a rebuild
   std::uint64_t bytes_produced = 0; ///< bytes that passed the health gate
   bool exhausted = false;           ///< every producer retired
+};
+
+/// Live streaming-certification view: one tracker snapshot per producer
+/// (over exactly the health-gated bits that producer contributed) plus
+/// the pool-wide merge.  Producers feed their trackers whole blocks under
+/// a per-producer lock, so every snapshot observes block-aligned state
+/// and the merge is exact (see stats/streaming.h).
+struct PoolCertSnapshot {
+  bool enabled = false;                       ///< config.certify
+  stats::streaming::TrackerConfig tracker;    ///< effective (clamped) config
+  std::vector<stats::streaming::Snapshot> producers;
+  stats::streaming::Snapshot merged;
 };
 
 class EntropyPool {
@@ -122,23 +144,37 @@ class EntropyPool {
   std::uint64_t bytes_produced() const;
   /// All of the above in one struct (see PoolHealthSnapshot).
   PoolHealthSnapshot snapshot() const;
+  /// Per-producer + merged streaming-certification snapshots (empty with
+  /// certify = false).
+  PoolCertSnapshot cert_snapshot() const;
+  /// The tracker geometry actually in use (after block_bits clamping).
+  const stats::streaming::TrackerConfig& tracker_config() const {
+    return tracker_config_;
+  }
 
  private:
   struct ProducerState {
     std::unique_ptr<TrngSource> source;
     stats::HealthMonitor monitor;
+    /// Streaming certification over this producer's health-gated output;
+    /// fed whole blocks under tracker_mutex after the health decision, so
+    /// snapshots always observe block-aligned state.
+    stats::streaming::SourceTracker tracker;
+    mutable std::mutex tracker_mutex;
     std::uint64_t reseed_sequence = 0;  ///< seeds consumed by this producer
     std::size_t consecutive_alarms = 0;
     std::atomic<bool> retired{false};
     std::thread thread;
 
-    explicit ProducerState(double h_claim) : monitor(h_claim) {}
+    ProducerState(double h_claim, stats::streaming::TrackerConfig tracker_cfg)
+        : monitor(h_claim), tracker(tracker_cfg) {}
   };
 
   void producer_loop(std::size_t index);
   std::uint64_t derived_seed(std::size_t index, std::uint64_t sequence) const;
 
   EntropyPoolConfig config_;
+  stats::streaming::TrackerConfig tracker_config_;  ///< clamped to block_bits
   SourceFactory factory_;
   support::RingBuffer<std::uint8_t> buffer_;
   std::vector<std::unique_ptr<ProducerState>> states_;

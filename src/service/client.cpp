@@ -82,4 +82,13 @@ std::string EntropyClient::stats() {
   return response.text();
 }
 
+std::string EntropyClient::cert() {
+  const Response response = roundtrip(encode_cert_request());
+  if (response.status != Status::Ok) {
+    throw ProtocolError(std::string("CERT refused: ") +
+                        status_name(response.status));
+  }
+  return response.text();
+}
+
 }  // namespace dhtrng::service

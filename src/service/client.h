@@ -50,6 +50,9 @@ class EntropyClient {
   /// Plaintext metrics dump from the STATS admin command.
   std::string stats();
 
+  /// Plaintext streaming-certification dump from the CERT admin command.
+  std::string cert();
+
   void close() { sock_.close(); }
   bool connected() const { return sock_.valid(); }
 

@@ -181,8 +181,16 @@ Response EntropyServer::serve_request(const Request& request,
 
   if (request.op == Opcode::Stats) {
     metrics_.stats_requests.fetch_add(1, std::memory_order_relaxed);
+    const core::PoolCertSnapshot cert = pool_.cert_snapshot();
     const std::string text =
-        render_stats(metrics_, state(), pool_.snapshot());
+        render_stats(metrics_, state(), pool_.snapshot(), &cert,
+                     config_.cert);
+    response.payload.assign(text.begin(), text.end());
+    return response;
+  }
+  if (request.op == Opcode::Cert) {
+    metrics_.cert_requests.fetch_add(1, std::memory_order_relaxed);
+    const std::string text = render_cert(pool_.cert_snapshot(), config_.cert);
     response.payload.assign(text.begin(), text.end());
     return response;
   }

@@ -73,6 +73,10 @@ struct EntropyServerConfig {
   /// Retired producers at or above which the ladder reads DEGRADED.
   std::size_t degraded_after_retired = 1;
 
+  /// Decision thresholds applied to the streaming-certification
+  /// snapshots in CERT/STATS output (pool.certify enables the trackers).
+  stats::streaming::Thresholds cert;
+
   /// DRBG parameters for the Drbg quality and the DEGRADED fallback
   /// (reseed_interval controls how often generate calls pull fresh pool
   /// entropy on their own, on top of the per-quarantine reseeds).
@@ -119,6 +123,9 @@ class EntropyServer {
         metrics_.connections_active.load(std::memory_order_acquire));
   }
   core::PoolHealthSnapshot pool_snapshot() const { return pool_.snapshot(); }
+  core::PoolCertSnapshot pool_cert_snapshot() const {
+    return pool_.cert_snapshot();
+  }
 
  private:
   /// TrngSource view of the pool, for seeding/reseeding the DRBG from the

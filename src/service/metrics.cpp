@@ -1,8 +1,37 @@
 #include "service/metrics.h"
 
+#include <iomanip>
+#include <limits>
 #include <sstream>
 
 namespace dhtrng::service {
+
+namespace {
+
+/// Emit every field of one streaming snapshot as "<prefix>_key value"
+/// lines (shared between the merged and per-producer sections).
+void render_snapshot_lines(std::ostream& out, const std::string& prefix,
+                           const stats::streaming::Snapshot& s,
+                           const stats::streaming::Thresholds& t) {
+  out << prefix << "_bits " << s.bits << '\n'
+      << prefix << "_ones " << s.ones << '\n'
+      << prefix << "_pass " << (s.pass(t) ? 1 : 0) << '\n'
+      << prefix << "_h_live " << s.live_min_entropy() << '\n'
+      << prefix << "_frequency_p " << s.frequency_p << '\n'
+      << prefix << "_block_frequency_p " << s.block_frequency_p << '\n'
+      << prefix << "_runs_p " << s.runs_p << '\n'
+      << prefix << "_cusum_fwd_p " << s.cusum_fwd_p << '\n'
+      << prefix << "_cusum_bwd_p " << s.cusum_bwd_p << '\n'
+      << prefix << "_mcv_h " << s.mcv_h << '\n'
+      << prefix << "_markov_h " << s.markov_h << '\n'
+      << prefix << "_windows " << s.windows << '\n'
+      << prefix << "_window_mcv_h_last " << s.window_mcv_h_last << '\n'
+      << prefix << "_window_markov_h_last " << s.window_markov_h_last << '\n'
+      << prefix << "_window_mcv_h_min " << s.window_mcv_h_min << '\n'
+      << prefix << "_window_markov_h_min " << s.window_markov_h_min << '\n';
+}
+
+}  // namespace
 
 const char* service_state_name(ServiceState state) {
   switch (state) {
@@ -59,7 +88,9 @@ void Metrics::count_error(Status status) {
 }
 
 std::string render_stats(const Metrics& m, ServiceState state,
-                         const core::PoolHealthSnapshot& pool) {
+                         const core::PoolHealthSnapshot& pool,
+                         const core::PoolCertSnapshot* cert,
+                         const stats::streaming::Thresholds& thresholds) {
   const auto v = [](const std::atomic<std::uint64_t>& a) {
     return a.load(std::memory_order_relaxed);
   };
@@ -78,6 +109,7 @@ std::string render_stats(const Metrics& m, ServiceState state,
       << "responses_busy " << v(m.responses_busy) << '\n'
       << "responses_shutting_down " << v(m.responses_shutting_down) << '\n'
       << "stats_requests " << v(m.stats_requests) << '\n'
+      << "cert_requests " << v(m.cert_requests) << '\n'
       << "protocol_errors " << v(m.protocol_errors) << '\n'
       << "connections_accepted " << v(m.connections_accepted) << '\n'
       << "connections_closed " << v(m.connections_closed) << '\n'
@@ -90,6 +122,38 @@ std::string render_stats(const Metrics& m, ServiceState state,
       << "pool_reseeds " << pool.reseeds << '\n'
       << "pool_bytes_produced " << pool.bytes_produced << '\n'
       << "pool_exhausted " << (pool.exhausted ? 1 : 0) << '\n';
+  if (cert != nullptr && cert->enabled) {
+    out << std::setprecision(std::numeric_limits<double>::max_digits10);
+    out << "cert_pass " << (cert->merged.pass(thresholds) ? 1 : 0) << '\n'
+        << "cert_h_live " << cert->merged.live_min_entropy() << '\n';
+    for (std::size_t i = 0; i < cert->producers.size(); ++i) {
+      const auto& s = cert->producers[i];
+      out << "pool_source_" << i << "_bits " << s.bits << '\n'
+          << "pool_source_" << i << "_pass " << (s.pass(thresholds) ? 1 : 0)
+          << '\n'
+          << "pool_source_" << i << "_h_live " << s.live_min_entropy()
+          << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string render_cert(const core::PoolCertSnapshot& cert,
+                        const stats::streaming::Thresholds& thresholds) {
+  std::ostringstream out;
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << "cert_enabled " << (cert.enabled ? 1 : 0) << '\n'
+      << "cert_sources " << cert.producers.size() << '\n'
+      << "cert_block_len " << cert.tracker.block_len << '\n'
+      << "cert_window_bits " << cert.tracker.window_bits << '\n'
+      << "cert_alpha " << thresholds.alpha << '\n'
+      << "cert_min_entropy " << thresholds.min_entropy << '\n';
+  if (!cert.enabled) return out.str();
+  render_snapshot_lines(out, "merged", cert.merged, thresholds);
+  for (std::size_t i = 0; i < cert.producers.size(); ++i) {
+    render_snapshot_lines(out, "source_" + std::to_string(i),
+                          cert.producers[i], thresholds);
+  }
   return out.str();
 }
 

@@ -20,6 +20,7 @@
 
 #include "core/entropy_pool.h"
 #include "service/protocol.h"
+#include "stats/streaming.h"
 
 namespace dhtrng::service {
 
@@ -46,6 +47,7 @@ struct Metrics {
   std::atomic<std::uint64_t> responses_shutting_down{0};
 
   std::atomic<std::uint64_t> stats_requests{0};
+  std::atomic<std::uint64_t> cert_requests{0};
   std::atomic<std::uint64_t> protocol_errors{0};
 
   std::atomic<std::uint64_t> connections_accepted{0};
@@ -62,8 +64,21 @@ struct Metrics {
 };
 
 /// Plaintext dump: one "key value" line per counter, plus the ladder state
-/// and the pool-health snapshot.
+/// and the pool-health snapshot.  With a cert snapshot, appends one live
+/// line triple per producer (bits / pass / live min-entropy) so operators
+/// see per-source health at a glance; the full breakdown lives behind the
+/// CERT verb.  Values always lead with a digit (the degradation tests
+/// stoull every non-state value).
 std::string render_stats(const Metrics& metrics, ServiceState state,
-                         const core::PoolHealthSnapshot& pool);
+                         const core::PoolHealthSnapshot& pool,
+                         const core::PoolCertSnapshot* cert = nullptr,
+                         const stats::streaming::Thresholds& thresholds = {});
+
+/// Plaintext CERT dump: the full per-producer + merged streaming
+/// certification snapshots, same "key value" line format as STATS.
+/// Doubles are printed with max_digits10 precision so test oracles can
+/// compare them bit-exactly after a stod round trip.
+std::string render_cert(const core::PoolCertSnapshot& cert,
+                        const stats::streaming::Thresholds& thresholds = {});
 
 }  // namespace dhtrng::service

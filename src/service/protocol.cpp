@@ -75,6 +75,13 @@ std::vector<std::uint8_t> encode_stats_request() {
   return frame;
 }
 
+std::vector<std::uint8_t> encode_cert_request() {
+  std::vector<std::uint8_t> frame(kLenPrefixBytes + kCertPayloadBytes);
+  write_u32le(frame.data(), static_cast<std::uint32_t>(kCertPayloadBytes));
+  frame[4] = static_cast<std::uint8_t>(Opcode::Cert);
+  return frame;
+}
+
 DecodeError decode_request(const std::uint8_t* payload, std::size_t len,
                            Request& out) {
   if (len == 0) return DecodeError::Empty;
@@ -92,6 +99,13 @@ DecodeError decode_request(const std::uint8_t* payload, std::size_t len,
     case static_cast<std::uint8_t>(Opcode::Stats): {
       if (len != kStatsPayloadBytes) return DecodeError::BadLength;
       out.op = Opcode::Stats;
+      out.quality = Quality::Raw;
+      out.n_bytes = 0;
+      return DecodeError::None;
+    }
+    case static_cast<std::uint8_t>(Opcode::Cert): {
+      if (len != kCertPayloadBytes) return DecodeError::BadLength;
+      out.op = Opcode::Cert;
       out.quality = Quality::Raw;
       out.n_bytes = 0;
       return DecodeError::None;

@@ -5,17 +5,21 @@
 // tests/service/test_service_protocol.cpp).
 //
 //   frame    := u32-LE payload_length, payload
-//   request  := GET | STATS
+//   request  := GET | STATS | CERT
 //   GET      := 0x01, quality u8 (0 RAW | 1 CONDITIONED | 2 DRBG), n u32-LE
 //   STATS    := 0x02
+//   CERT     := 0x03
 //   response := status u8, flags u8, n u32-LE, n bytes
 //
 // GET responses carry `n` entropy bytes on Status::Ok; every non-Ok status
 // carries a short UTF-8 detail string instead (the "structured error" the
 // failure policy promises — a client always gets a reason, never a hang or
 // a silent close on a well-formed request).  STATS responses carry the
-// plaintext metrics dump.  Flag bit 0 (kFlagDegraded) marks bytes served
-// by the DRBG fallback while the pool is degraded.
+// plaintext metrics dump, and CERT responses the plaintext streaming-
+// certification snapshot (per-producer + merged live min-entropy and
+// SP 800-22 pass state, see service/metrics.h render_cert).  Flag bit 0
+// (kFlagDegraded) marks bytes served by the DRBG fallback while the pool
+// is degraded.
 //
 // Request payloads are tiny by construction (6 bytes for GET, 1 for
 // STATS); any request frame longer than kMaxRequestPayload is a protocol
@@ -34,6 +38,7 @@ namespace dhtrng::service {
 enum class Opcode : std::uint8_t {
   Get = 0x01,
   Stats = 0x02,
+  Cert = 0x03,
 };
 
 enum class Quality : std::uint8_t {
@@ -61,6 +66,8 @@ inline constexpr std::size_t kLenPrefixBytes = 4;
 inline constexpr std::size_t kGetPayloadBytes = 6;
 /// STATS request payload: opcode only.
 inline constexpr std::size_t kStatsPayloadBytes = 1;
+/// CERT request payload: opcode only.
+inline constexpr std::size_t kCertPayloadBytes = 1;
 /// Hard cap on request frames (requests are tiny; anything bigger is a
 /// protocol violation, not a big request).
 inline constexpr std::size_t kMaxRequestPayload = 64;
@@ -107,6 +114,8 @@ std::vector<std::uint8_t> encode_get_request(Quality quality,
                                              std::uint32_t n_bytes);
 /// Full STATS request frame (length prefix included).
 std::vector<std::uint8_t> encode_stats_request();
+/// Full CERT request frame (length prefix included).
+std::vector<std::uint8_t> encode_cert_request();
 
 /// Parse a request payload (the bytes after the length prefix).
 DecodeError decode_request(const std::uint8_t* payload, std::size_t len,

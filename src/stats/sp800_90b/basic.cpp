@@ -26,6 +26,10 @@ EstimatorResult make_result(std::string name, double p_max) {
 }  // namespace
 
 EstimatorResult mcv(const BitStream& bits) {
+  // Below two samples the confidence-interval width divides by n - 1 = 0
+  // and the result went NaN; report the no-information bound instead
+  // (p_max = 1, zero extractable entropy), like markov() already does.
+  if (bits.size() < 2) return make_result("MCV", 1.0);
   const double n = static_cast<double>(bits.size());
   const double ones = static_cast<double>(bits.count_ones());
   const double p_hat = std::max(ones, n - ones) / n;

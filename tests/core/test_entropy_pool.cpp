@@ -309,5 +309,60 @@ TEST(EntropyPool, DhTrngConvenienceFactory) {
   EXPECT_EQ(pool.healthy_producers(), 2u);
 }
 
+TEST(EntropyPool, CertSnapshotClampsGeometryToBlockBits) {
+  // block_bits = 768 = 256 * 3: the largest power-of-two divisor is 256,
+  // so the default tracker geometry (128, 1024) clamps to (128, 256).
+  EntropyPool pool({.producers = 1, .buffer_bytes = 1024, .block_bits = 768},
+                   ideal_factory());
+  EXPECT_EQ(pool.tracker_config().block_len, 128u);
+  EXPECT_EQ(pool.tracker_config().window_bits, 256u);
+  const PoolCertSnapshot snap = pool.cert_snapshot();
+  EXPECT_TRUE(snap.enabled);
+  EXPECT_EQ(snap.tracker.window_bits, 256u);
+}
+
+TEST(EntropyPool, CertSnapshotDisabledWhenNotCertifying) {
+  EntropyPool pool({.producers = 1, .buffer_bytes = 512, .block_bits = 256,
+                    .certify = false},
+                   ideal_factory());
+  (void)pool.get_bytes(64);
+  const PoolCertSnapshot snap = pool.cert_snapshot();
+  EXPECT_FALSE(snap.enabled);
+  EXPECT_TRUE(snap.producers.empty());
+  EXPECT_EQ(snap.merged.bits, 0u);
+}
+
+// Concurrency (TSan lane): cert_snapshot() races against live producers
+// feeding their trackers and a consumer draining the buffer.  The
+// per-producer tracker lock means every snapshot observes block-aligned
+// state, so the merge precondition holds in every interleaving.
+TEST(EntropyPool, CertSnapshotUnderConcurrentProductionIsConsistent) {
+  EntropyPool pool({.producers = 3, .buffer_bytes = 2048, .block_bits = 256},
+                   ideal_factory());
+  std::atomic<bool> done{false};
+  std::thread consumer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      (void)pool.get_bytes(128);
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    const PoolCertSnapshot snap = pool.cert_snapshot();
+    ASSERT_EQ(snap.producers.size(), 3u);
+    std::uint64_t total = 0;
+    for (const auto& s : snap.producers) {
+      // Whole health-gated blocks only — never a torn mid-block state.
+      EXPECT_EQ(s.bits % 256u, 0u);
+      total += s.bits;
+    }
+    // The merge inside cert_snapshot() holds each tracker's lock while
+    // folding it in, so the merged view is exactly the concatenation of
+    // the per-producer snapshots taken in the same pass.
+    EXPECT_EQ(snap.merged.bits, total);
+    EXPECT_EQ(snap.merged.windows, total / 256u);
+  }
+  done.store(true, std::memory_order_release);
+  consumer.join();
+}
+
 }  // namespace
 }  // namespace dhtrng::core
