@@ -10,6 +10,9 @@
 //                      [--rate-mbps=R] [--max-request=N]
 //   trng_tool fetch    [--host=H] [--port=P] [--unix=PATH] [--bytes=N]
 //                      [--quality=raw|conditioned|drbg] [--format=hex|bin]
+//   trng_tool subscribe [--host=H] [--port=P] [--unix=PATH] [--bytes=N]
+//                      [--interval-ms=M] [--count=K] [--quality=...]
+//                      [--format=hex|bin]
 //   trng_tool stats    [--host=H] [--port=P] [--unix=PATH]
 //   trng_tool cert     [--host=H] [--port=P] [--unix=PATH]
 //
@@ -17,9 +20,11 @@
 // screen (bias, ACF, core SP 800-90B estimators, IID permutation test);
 // `report` renders the full characterization report (all suites);
 // `serve` runs the entropy-as-a-service daemon until SIGINT/SIGTERM;
-// `fetch`, `stats` and `cert` are protocol clients against a running
-// daemon (`cert` dumps the live streaming-certification snapshots —
-// per-producer and merged SP 800-22/90B accumulators).
+// `fetch`, `subscribe`, `stats` and `cert` are protocol clients against a
+// running daemon (`subscribe` streams pushed chunks until --count pushes
+// arrive or SIGINT, then unsubscribes cleanly; `cert` dumps the live
+// streaming-certification snapshots — per-producer and merged
+// SP 800-22/90B accumulators).
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -241,6 +246,66 @@ int cmd_fetch(int argc, char** argv) {
   return 0;
 }
 
+void write_bytes(const std::vector<std::uint8_t>& bytes, bool binary) {
+  if (binary) {
+    std::fwrite(bytes.data(), 1, bytes.size(), stdout);
+    return;
+  }
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::printf("%02x", bytes[i]);
+    if (i % 32 == 31) std::fputc('\n', stdout);
+  }
+  if (bytes.size() % 32 != 0) std::fputc('\n', stdout);
+}
+
+int cmd_subscribe(int argc, char** argv) {
+  auto client = connect_client(argc, argv);
+  const auto chunk = static_cast<std::uint32_t>(
+      std::stoul(flag(argc, argv, "bytes", "32")));
+  const auto interval_ms = static_cast<std::uint32_t>(
+      std::stoul(flag(argc, argv, "interval-ms", "1000")));
+  const auto count = std::stoull(flag(argc, argv, "count", "0"));  // 0 = ∞
+  const std::string quality_str = flag(argc, argv, "quality", "conditioned");
+  const auto quality = service::quality_from_name(quality_str);
+  if (!quality) {
+    std::fprintf(stderr, "unknown --quality=%s\n", quality_str.c_str());
+    return 2;
+  }
+  const bool binary = flag(argc, argv, "format", "hex") == "bin";
+
+  const auto ack = client.subscribe(chunk, interval_ms, *quality);
+  if (!ack.ok()) {
+    std::fprintf(stderr, "subscribe refused: %s (%s)\n",
+                 service::status_name(ack.status), ack.detail.c_str());
+    return 1;
+  }
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::uint64_t received = 0;
+  while (!g_stop.load(std::memory_order_acquire) &&
+         (count == 0 || received < count)) {
+    const auto push = client.try_next_push(200);
+    if (!push) continue;  // poll timeout; check the stop flag again
+    if (!push->ok()) {
+      std::fprintf(stderr, "stream ended: %s (%s)\n",
+                   service::status_name(push->status), push->detail.c_str());
+      return 1;
+    }
+    if (push->degraded) {
+      std::fprintf(stderr,
+                   "warning: service is DEGRADED (DRBG fallback output)\n");
+    }
+    write_bytes(push->bytes, binary);
+    std::fflush(stdout);
+    ++received;
+  }
+  // Clean shutdown: drain in-flight pushes so none are silently dropped.
+  for (const auto& push : client.unsubscribe()) {
+    if (push.ok()) write_bytes(push.bytes, binary);
+  }
+  return 0;
+}
+
 int cmd_stats(int argc, char** argv) {
   auto client = connect_client(argc, argv);
   std::fputs(client.stats().c_str(), stdout);
@@ -258,9 +323,11 @@ int cmd_cert(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s generate|evaluate|report|serve|fetch|stats|cert "
+                 "usage: %s generate|evaluate|report|serve|fetch|subscribe|"
+                 "stats|cert "
                  "[--device=] [--bits=] [--seed=] [--backend=] [--format=] "
-                 "[--post=] [--port=] [--unix=] [--bytes=] [--quality=]\n",
+                 "[--post=] [--port=] [--unix=] [--bytes=] [--quality=] "
+                 "[--interval-ms=] [--count=]\n",
                  argv[0]);
     return 2;
   }
@@ -271,6 +338,7 @@ int main(int argc, char** argv) {
     if (cmd == "report") return cmd_report(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
     if (cmd == "fetch") return cmd_fetch(argc, argv);
+    if (cmd == "subscribe") return cmd_subscribe(argc, argv);
     if (cmd == "stats") return cmd_stats(argc, argv);
     if (cmd == "cert") return cmd_cert(argc, argv);
   } catch (const std::exception& ex) {

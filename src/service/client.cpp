@@ -1,5 +1,7 @@
 #include "service/client.h"
 
+#include <poll.h>
+
 namespace dhtrng::service {
 
 namespace {
@@ -34,6 +36,10 @@ Response EntropyClient::roundtrip(const std::vector<std::uint8_t>& frame) {
   if (!sock_.write_all(frame.data(), frame.size())) {
     throw ProtocolError("connection lost while sending request");
   }
+  return read_response();
+}
+
+Response EntropyClient::read_response() {
   std::uint8_t header[kLenPrefixBytes];
   if (!sock_.read_exact(header, sizeof(header))) {
     throw ProtocolError("connection closed before a response arrived");
@@ -71,6 +77,69 @@ EntropyClient::FetchResult EntropyClient::fetch(std::uint32_t n,
     result.detail = response.text();
   }
   return result;
+}
+
+namespace {
+
+EntropyClient::PushResult to_push_result(const Response& response) {
+  EntropyClient::PushResult result;
+  result.status = response.status;
+  result.degraded = response.degraded();
+  result.push = (response.flags & kFlagPush) != 0;
+  if (response.status == Status::Ok) {
+    result.bytes = response.payload;
+  } else {
+    result.detail = response.text();
+  }
+  return result;
+}
+
+}  // namespace
+
+EntropyClient::FetchResult EntropyClient::subscribe(std::uint32_t chunk,
+                                                    std::uint32_t interval_ms,
+                                                    Quality quality) {
+  // The acknowledgement is enqueued before any push on the server side,
+  // so the first frame back is always the ack.
+  const Response response =
+      roundtrip(encode_subscribe_request(quality, chunk, interval_ms));
+  FetchResult result;
+  result.status = response.status;
+  result.degraded = response.degraded();
+  if (response.status != Status::Ok) result.detail = response.text();
+  return result;
+}
+
+EntropyClient::PushResult EntropyClient::next_push() {
+  return to_push_result(read_response());
+}
+
+std::optional<EntropyClient::PushResult> EntropyClient::try_next_push(
+    int timeout_ms) {
+  pollfd pfd{sock_.fd(), POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready <= 0) return std::nullopt;  // timeout or EINTR
+  return next_push();
+}
+
+std::vector<EntropyClient::PushResult> EntropyClient::unsubscribe() {
+  const auto frame = encode_unsubscribe_request();
+  if (!sock_.write_all(frame.data(), frame.size())) {
+    throw ProtocolError("connection lost while sending UNSUBSCRIBE");
+  }
+  std::vector<PushResult> drained;
+  while (true) {
+    const PushResult result = to_push_result(read_response());
+    if (result.push) {
+      drained.push_back(result);
+      continue;
+    }
+    if (result.status != Status::Ok) {
+      throw ProtocolError(std::string("UNSUBSCRIBE refused: ") +
+                          status_name(result.status) + " " + result.detail);
+    }
+    return drained;
+  }
 }
 
 std::string EntropyClient::stats() {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -47,6 +48,39 @@ class EntropyClient {
   /// exactly `n` bytes (anything else is a ProtocolError).
   FetchResult fetch(std::uint32_t n, Quality quality = Quality::Raw);
 
+  /// One frame received on a subscription stream.  `push` distinguishes
+  /// server pushes (kFlagPush) from request/response frames interleaved
+  /// on the same connection.
+  struct PushResult {
+    Status status = Status::Ok;
+    bool degraded = false;
+    bool push = false;
+    std::vector<std::uint8_t> bytes;  ///< entropy (Ok pushes)
+    std::string detail;               ///< structured error text (non-Ok)
+
+    bool ok() const { return status == Status::Ok; }
+  };
+
+  /// Open a push stream: `chunk` bytes per push, every `interval_ms`
+  /// milliseconds (0 = as fast as the server's buckets allow).  Returns
+  /// the server's acknowledgement — Status::Ok means pushes will follow;
+  /// any other status is the structured refusal and no stream exists.
+  FetchResult subscribe(std::uint32_t chunk, std::uint32_t interval_ms,
+                        Quality quality = Quality::Raw);
+
+  /// Block until the next frame on this connection (normally a push).
+  /// Throws ProtocolError on disconnect or framing violations.
+  PushResult next_push();
+
+  /// Wait up to `timeout_ms` for the next frame; nullopt on timeout.
+  std::optional<PushResult> try_next_push(int timeout_ms);
+
+  /// End the stream: sends UNSUBSCRIBE and drains every in-flight push
+  /// until the non-push Ok acknowledgement arrives (FIFO framing
+  /// guarantees the ack follows the final push).  Returns the drained
+  /// pushes so callers can keep their byte accounting exact.
+  std::vector<PushResult> unsubscribe();
+
   /// Plaintext metrics dump from the STATS admin command.
   std::string stats();
 
@@ -60,6 +94,7 @@ class EntropyClient {
   explicit EntropyClient(Socket sock) : sock_(std::move(sock)) {}
 
   Response roundtrip(const std::vector<std::uint8_t>& frame);
+  Response read_response();
 
   Socket sock_;
 };

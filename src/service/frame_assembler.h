@@ -1,0 +1,90 @@
+// Incremental request-frame assembly for the non-blocking read path: a
+// pure byte-stream state machine (no sockets, no I/O) that accepts
+// arbitrary delivery fragmentation — byte-at-a-time, frames split across
+// read() boundaries, several frames coalesced in one segment — and emits
+// complete length-prefixed payloads in order.
+//
+// Being socket-free makes the framing layer exhaustively testable
+// (tests/service/test_service_protocol.cpp drives it with adversarial
+// chunkings) and keeps the event-loop connection handler down to
+// "feed(recv bytes); while (next(payload)) serve(payload);".
+//
+// Malformed length prefixes (zero-length, above max_payload) latch a
+// sticky error: the stream cannot be trusted past a bad header, so no
+// further frames are emitted and the caller answers with a structured
+// error and closes — exactly the PR 5 blocking-path policy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "service/protocol.h"
+
+namespace dhtrng::service {
+
+class FrameAssembler {
+ public:
+  enum class Error {
+    None,
+    ZeroLength,  ///< header announced an empty payload
+    TooLarge,    ///< header announced more than max_payload bytes
+  };
+
+  explicit FrameAssembler(std::size_t max_payload = kMaxRequestPayload)
+      : max_payload_(max_payload) {}
+
+  /// Append raw stream bytes.  Ignored once an error has latched.
+  void feed(const std::uint8_t* data, std::size_t n) {
+    if (error_ != Error::None) return;
+    buf_.insert(buf_.end(), data, data + n);
+  }
+
+  /// Extract the next complete payload (length prefix stripped) into
+  /// `out`.  Returns false when more bytes are needed or an error has
+  /// latched — check error() to tell the two apart.
+  bool next(std::vector<std::uint8_t>& out) {
+    if (error_ != Error::None) return false;
+    if (buf_.size() - head_ < kLenPrefixBytes) return false;
+    const std::uint32_t len = read_u32le(buf_.data() + head_);
+    if (len == 0) {
+      error_ = Error::ZeroLength;
+      return false;
+    }
+    if (len > max_payload_) {
+      error_ = Error::TooLarge;
+      return false;
+    }
+    if (buf_.size() - head_ < kLenPrefixBytes + len) return false;
+    const std::uint8_t* payload = buf_.data() + head_ + kLenPrefixBytes;
+    out.assign(payload, payload + len);
+    head_ += kLenPrefixBytes + len;
+    // Compact once the consumed prefix dominates, so a long-lived
+    // connection's buffer stays at working-set size instead of growing
+    // with total traffic.
+    if (head_ == buf_.size()) {
+      buf_.clear();
+      head_ = 0;
+    } else if (head_ >= 4096) {
+      buf_.erase(buf_.begin(),
+                 buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+    return true;
+  }
+
+  Error error() const { return error_; }
+
+  /// Unconsumed bytes (a non-zero value at EOF means the peer vanished
+  /// mid-frame — the caller counts it as a protocol error).
+  std::size_t buffered() const { return buf_.size() - head_; }
+
+ private:
+  std::size_t max_payload_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t head_ = 0;
+  Error error_ = Error::None;
+};
+
+}  // namespace dhtrng::service

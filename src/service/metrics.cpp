@@ -115,6 +115,23 @@ std::string render_stats(const Metrics& m, ServiceState state,
       << "connections_closed " << v(m.connections_closed) << '\n'
       << "connections_active " << v(m.connections_active) << '\n'
       << "drbg_fallback_reseeds " << v(m.drbg_fallback_reseeds) << '\n'
+      << "epoll_wakeups " << v(m.epoll_wakeups) << '\n'
+      << "writev_calls " << v(m.writev_calls) << '\n'
+      << "writev_frames " << v(m.writev_frames) << '\n'
+      << "accept_retries " << v(m.accept_retries) << '\n'
+      << "accept_soft_errors " << v(m.accept_soft_errors) << '\n'
+      << "accept_fatal_errors " << v(m.accept_fatal_errors) << '\n'
+      << "write_queue_overflows " << v(m.write_queue_overflows) << '\n'
+      << "subscriptions_opened " << v(m.subscriptions_opened) << '\n'
+      << "subscriptions_closed " << v(m.subscriptions_closed) << '\n'
+      << "subscriptions_active " << v(m.subscriptions_active) << '\n'
+      << "subscribe_pushes " << v(m.subscribe_pushes) << '\n'
+      << "subscribe_push_bytes " << v(m.subscribe_push_bytes) << '\n'
+      << "subscribe_pushes_degraded " << v(m.subscribe_pushes_degraded)
+      << '\n'
+      << "subscribe_deferred_rate " << v(m.subscribe_deferred_rate) << '\n'
+      << "subscribe_deferred_backpressure "
+      << v(m.subscribe_deferred_backpressure) << '\n'
       << "pool_producers " << pool.producers << '\n'
       << "pool_healthy " << pool.healthy << '\n'
       << "pool_retired " << pool.retired << '\n'

@@ -57,6 +57,29 @@ struct Metrics {
   /// Fallback-DRBG reseeds triggered by entering/serving DEGRADED.
   std::atomic<std::uint64_t> drbg_fallback_reseeds{0};
 
+  // Event-loop internals (readiness-loop server core).
+  std::atomic<std::uint64_t> epoll_wakeups{0};   ///< poller wait() returns
+  std::atomic<std::uint64_t> writev_calls{0};    ///< batched sendmsg calls
+  std::atomic<std::uint64_t> writev_frames{0};   ///< frames across those calls
+  std::atomic<std::uint64_t> accept_retries{0};  ///< EINTR/ECONNABORTED/EPROTO
+  std::atomic<std::uint64_t> accept_soft_errors{0};  ///< EMFILE-class backoff
+  std::atomic<std::uint64_t> accept_fatal_errors{0};
+  /// Connections closed because their bounded write queue overflowed
+  /// (back-pressure: the peer stopped reading faster than we produce).
+  std::atomic<std::uint64_t> write_queue_overflows{0};
+
+  // Subscription streaming (SUBSCRIBE/UNSUBSCRIBE).
+  std::atomic<std::uint64_t> subscriptions_opened{0};
+  std::atomic<std::uint64_t> subscriptions_closed{0};
+  std::atomic<std::uint64_t> subscriptions_active{0};  // gauge
+  std::atomic<std::uint64_t> subscribe_pushes{0};
+  std::atomic<std::uint64_t> subscribe_push_bytes{0};
+  std::atomic<std::uint64_t> subscribe_pushes_degraded{0};
+  /// Pushes deferred whole (never split) by a token bucket or by write-
+  /// queue back-pressure; each deferral is retried on a later loop pass.
+  std::atomic<std::uint64_t> subscribe_deferred_rate{0};
+  std::atomic<std::uint64_t> subscribe_deferred_backpressure{0};
+
   /// Attribute an Ok GET response's bytes to its quality bucket.
   void count_served(Quality quality, std::uint64_t n, bool degraded);
   /// Attribute a non-Ok GET response to its status bucket.

@@ -1,0 +1,164 @@
+#include "service/poller.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <stdexcept>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define DHTRNG_HAVE_EPOLL 1
+#endif
+
+namespace dhtrng::service {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Poller::Poller(Backend backend) {
+#if DHTRNG_HAVE_EPOLL
+  if (backend != Backend::Poll) {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) throw_errno("epoll_create1");
+    return;
+  }
+#else
+  if (backend == Backend::Epoll) {
+    throw std::runtime_error("Poller: epoll backend unavailable on this OS");
+  }
+#endif
+  (void)backend;  // poll backend needs no kernel object
+}
+
+Poller::~Poller() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void Poller::add(int fd, bool want_read, bool want_write) {
+  interest_.emplace(fd, std::make_pair(want_read, want_write));
+#if DHTRNG_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      interest_.erase(fd);
+      throw_errno("epoll_ctl(ADD)");
+    }
+  }
+#endif
+}
+
+void Poller::mod(int fd, bool want_read, bool want_write) {
+  const auto it = interest_.find(fd);
+  if (it == interest_.end()) return;
+  it->second = {want_read, want_write};
+#if DHTRNG_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
+      throw_errno("epoll_ctl(MOD)");
+    }
+  }
+#endif
+}
+
+void Poller::del(int fd) {
+  if (interest_.erase(fd) == 0) return;
+#if DHTRNG_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    // Failure is fine: closing an fd removes it from the set implicitly.
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+#endif
+}
+
+int Poller::wait(std::vector<Event>& out, int timeout_ms) {
+  out.clear();
+#if DHTRNG_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    epoll_event events[64];
+    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return 0;
+      throw_errno("epoll_wait");
+    }
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      Event ev;
+      ev.fd = events[i].data.fd;
+      ev.readable = (events[i].events & EPOLLIN) != 0;
+      ev.writable = (events[i].events & EPOLLOUT) != 0;
+      ev.hangup = (events[i].events & (EPOLLHUP | EPOLLERR)) != 0;
+      out.push_back(ev);
+    }
+    return n;
+  }
+#endif
+  std::vector<pollfd> pfds;
+  pfds.reserve(interest_.size());
+  for (const auto& [fd, want] : interest_) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = static_cast<short>((want.first ? POLLIN : 0) |
+                                  (want.second ? POLLOUT : 0));
+    pfds.push_back(p);
+  }
+  const int n = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                       timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return 0;
+    throw_errno("poll");
+  }
+  for (const pollfd& p : pfds) {
+    if (p.revents == 0) continue;
+    Event ev;
+    ev.fd = p.fd;
+    ev.readable = (p.revents & POLLIN) != 0;
+    ev.writable = (p.revents & POLLOUT) != 0;
+    ev.hangup = (p.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+    out.push_back(ev);
+  }
+  return static_cast<int>(out.size());
+}
+
+WakePipe::WakePipe() {
+#if defined(__linux__)
+  if (::pipe2(fds_, O_NONBLOCK | O_CLOEXEC) < 0) throw_errno("pipe2");
+#else
+  if (::pipe(fds_) < 0) throw_errno("pipe");
+  for (int fd : fds_) {
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  }
+#endif
+}
+
+WakePipe::~WakePipe() {
+  for (int fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void WakePipe::notify() {
+  const std::uint8_t byte = 1;
+  // A full pipe already guarantees a pending wakeup; EAGAIN is success.
+  (void)!::write(fds_[1], &byte, 1);
+}
+
+void WakePipe::drain() {
+  std::uint8_t buf[64];
+  while (::read(fds_[0], buf, sizeof buf) > 0) {
+  }
+}
+
+}  // namespace dhtrng::service

@@ -82,6 +82,27 @@ std::vector<std::uint8_t> encode_cert_request() {
   return frame;
 }
 
+std::vector<std::uint8_t> encode_subscribe_request(Quality quality,
+                                                   std::uint32_t chunk_bytes,
+                                                   std::uint32_t interval_ms) {
+  std::vector<std::uint8_t> frame(kLenPrefixBytes + kSubscribePayloadBytes);
+  write_u32le(frame.data(),
+              static_cast<std::uint32_t>(kSubscribePayloadBytes));
+  frame[4] = static_cast<std::uint8_t>(Opcode::Subscribe);
+  frame[5] = static_cast<std::uint8_t>(quality);
+  write_u32le(frame.data() + 6, chunk_bytes);
+  write_u32le(frame.data() + 10, interval_ms);
+  return frame;
+}
+
+std::vector<std::uint8_t> encode_unsubscribe_request() {
+  std::vector<std::uint8_t> frame(kLenPrefixBytes + kUnsubscribePayloadBytes);
+  write_u32le(frame.data(),
+              static_cast<std::uint32_t>(kUnsubscribePayloadBytes));
+  frame[4] = static_cast<std::uint8_t>(Opcode::Unsubscribe);
+  return frame;
+}
+
 DecodeError decode_request(const std::uint8_t* payload, std::size_t len,
                            Request& out) {
   if (len == 0) return DecodeError::Empty;
@@ -94,6 +115,7 @@ DecodeError decode_request(const std::uint8_t* payload, std::size_t len,
       out.op = Opcode::Get;
       out.quality = static_cast<Quality>(payload[1]);
       out.n_bytes = read_u32le(payload + 2);
+      out.interval_ms = 0;
       return DecodeError::None;
     }
     case static_cast<std::uint8_t>(Opcode::Stats): {
@@ -106,6 +128,24 @@ DecodeError decode_request(const std::uint8_t* payload, std::size_t len,
     case static_cast<std::uint8_t>(Opcode::Cert): {
       if (len != kCertPayloadBytes) return DecodeError::BadLength;
       out.op = Opcode::Cert;
+      out.quality = Quality::Raw;
+      out.n_bytes = 0;
+      return DecodeError::None;
+    }
+    case static_cast<std::uint8_t>(Opcode::Subscribe): {
+      if (len != kSubscribePayloadBytes) return DecodeError::BadLength;
+      if (payload[1] > static_cast<std::uint8_t>(Quality::Drbg)) {
+        return DecodeError::BadQuality;
+      }
+      out.op = Opcode::Subscribe;
+      out.quality = static_cast<Quality>(payload[1]);
+      out.n_bytes = read_u32le(payload + 2);
+      out.interval_ms = read_u32le(payload + 6);
+      return DecodeError::None;
+    }
+    case static_cast<std::uint8_t>(Opcode::Unsubscribe): {
+      if (len != kUnsubscribePayloadBytes) return DecodeError::BadLength;
+      out.op = Opcode::Unsubscribe;
       out.quality = Quality::Raw;
       out.n_bytes = 0;
       return DecodeError::None;

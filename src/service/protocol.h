@@ -4,12 +4,14 @@
 // function of bytes (fuzzable without sockets, see
 // tests/service/test_service_protocol.cpp).
 //
-//   frame    := u32-LE payload_length, payload
-//   request  := GET | STATS | CERT
-//   GET      := 0x01, quality u8 (0 RAW | 1 CONDITIONED | 2 DRBG), n u32-LE
-//   STATS    := 0x02
-//   CERT     := 0x03
-//   response := status u8, flags u8, n u32-LE, n bytes
+//   frame       := u32-LE payload_length, payload
+//   request     := GET | STATS | CERT | SUBSCRIBE | UNSUBSCRIBE
+//   GET         := 0x01, quality u8 (0 RAW | 1 CONDITIONED | 2 DRBG), n u32-LE
+//   STATS       := 0x02
+//   CERT        := 0x03
+//   SUBSCRIBE   := 0x04, quality u8, chunk u32-LE, interval_ms u32-LE
+//   UNSUBSCRIBE := 0x05
+//   response    := status u8, flags u8, n u32-LE, n bytes
 //
 // GET responses carry `n` entropy bytes on Status::Ok; every non-Ok status
 // carries a short UTF-8 detail string instead (the "structured error" the
@@ -21,10 +23,25 @@
 // (kFlagDegraded) marks bytes served by the DRBG fallback while the pool
 // is degraded.
 //
-// Request payloads are tiny by construction (6 bytes for GET, 1 for
-// STATS); any request frame longer than kMaxRequestPayload is a protocol
-// error and the server answers with a structured error before closing the
-// connection.
+// SUBSCRIBE turns the connection into a push stream: the server answers
+// with an immediate Ok acknowledgement (no kFlagPush), then pushes
+// response frames carrying `chunk` entropy bytes each, every
+// `interval_ms` milliseconds (0 = as fast as the token buckets and the
+// connection's write queue allow), every push flagged kFlagPush (bit 1)
+// so clients can tell pushes from request/response frames interleaved on
+// the same connection (STATS/CERT stay usable mid-subscription).  Pushes
+// draw from the same token buckets and walk the same degradation ladder
+// as GET: DEGRADED pushes add kFlagDegraded, and EXHAUSTED ends the
+// subscription with one kFlagPush-flagged structured error frame.  A
+// rate-limited push is deferred, never partially served, so byte
+// accounting stays exact.  UNSUBSCRIBE (or disconnecting) ends the
+// stream; its Ok acknowledgement is the first non-push frame after the
+// final push.
+//
+// Request payloads are tiny by construction (6 bytes for GET, 10 for
+// SUBSCRIBE, 1 for STATS); any request frame longer than
+// kMaxRequestPayload is a protocol error and the server answers with a
+// structured error before closing the connection.
 #pragma once
 
 #include <cstddef>
@@ -39,6 +56,8 @@ enum class Opcode : std::uint8_t {
   Get = 0x01,
   Stats = 0x02,
   Cert = 0x03,
+  Subscribe = 0x04,
+  Unsubscribe = 0x05,
 };
 
 enum class Quality : std::uint8_t {
@@ -59,6 +78,9 @@ enum class Status : std::uint8_t {
 
 /// Response flag bits.
 inline constexpr std::uint8_t kFlagDegraded = 0x01;
+/// Set on subscription pushes (data and the stream-ending error frame) so
+/// clients can separate pushes from request/response frames.
+inline constexpr std::uint8_t kFlagPush = 0x02;
 
 /// Frame length prefix: 4 bytes, little-endian.
 inline constexpr std::size_t kLenPrefixBytes = 4;
@@ -68,6 +90,10 @@ inline constexpr std::size_t kGetPayloadBytes = 6;
 inline constexpr std::size_t kStatsPayloadBytes = 1;
 /// CERT request payload: opcode only.
 inline constexpr std::size_t kCertPayloadBytes = 1;
+/// SUBSCRIBE request payload: opcode + quality + u32 chunk + u32 interval.
+inline constexpr std::size_t kSubscribePayloadBytes = 10;
+/// UNSUBSCRIBE request payload: opcode only.
+inline constexpr std::size_t kUnsubscribePayloadBytes = 1;
 /// Hard cap on request frames (requests are tiny; anything bigger is a
 /// protocol violation, not a big request).
 inline constexpr std::size_t kMaxRequestPayload = 64;
@@ -82,7 +108,11 @@ std::optional<Quality> quality_from_name(const std::string& name);
 struct Request {
   Opcode op = Opcode::Get;
   Quality quality = Quality::Raw;
+  /// GET: bytes requested.  SUBSCRIBE: bytes per push (the chunk).
   std::uint32_t n_bytes = 0;
+  /// SUBSCRIBE only: milliseconds between pushes (0 = as fast as the
+  /// buckets and write queue allow).
+  std::uint32_t interval_ms = 0;
 };
 
 struct Response {
@@ -116,6 +146,12 @@ std::vector<std::uint8_t> encode_get_request(Quality quality,
 std::vector<std::uint8_t> encode_stats_request();
 /// Full CERT request frame (length prefix included).
 std::vector<std::uint8_t> encode_cert_request();
+/// Full SUBSCRIBE request frame (length prefix included).
+std::vector<std::uint8_t> encode_subscribe_request(Quality quality,
+                                                   std::uint32_t chunk_bytes,
+                                                   std::uint32_t interval_ms);
+/// Full UNSUBSCRIBE request frame (length prefix included).
+std::vector<std::uint8_t> encode_unsubscribe_request();
 
 /// Parse a request payload (the bytes after the length prefix).
 DecodeError decode_request(const std::uint8_t* payload, std::size_t len,

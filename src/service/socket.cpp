@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -68,6 +69,21 @@ void Socket::close() {
   }
 }
 
+void Socket::set_nonblocking(bool enable) {
+  if (fd_ < 0) return;
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return;
+  ::fcntl(fd_, F_SETFL,
+          enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK));
+}
+
+void Socket::set_nodelay() {
+  if (fd_ < 0) return;
+  const int one = 1;
+  // Fails harmlessly on Unix-domain sockets.
+  (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
 namespace {
 
 [[noreturn]] void throw_errno(const std::string& what) {
@@ -76,11 +92,23 @@ namespace {
 
 }  // namespace
 
-Listener Listener::tcp_loopback(std::uint16_t port) {
+Listener Listener::tcp_loopback(std::uint16_t port, bool reuseport) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket(AF_INET)");
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuseport) {
+#ifdef SO_REUSEPORT
+    if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) < 0) {
+      ::close(fd);
+      throw_errno("setsockopt(SO_REUSEPORT)");
+    }
+#else
+    ::close(fd);
+    errno = ENOPROTOOPT;
+    throw_errno("SO_REUSEPORT unsupported");
+#endif
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -153,6 +181,12 @@ void Listener::close() {
   }
 }
 
+void Listener::set_nonblocking() {
+  if (fd_ < 0) return;
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+}
+
 Socket connect_tcp(const std::string& host, std::uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Socket();
@@ -168,6 +202,46 @@ Socket connect_tcp(const std::string& host, std::uint16_t port) {
     return Socket();
   }
   return Socket(fd);
+}
+
+AcceptOutcome classify_accept_errno(int err) {
+  switch (err) {
+    case EAGAIN:
+#if EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+      return AcceptOutcome::WouldBlock;
+    case EINTR:        // signal mid-accept: nothing wrong with the socket
+    case ECONNABORTED: // the pending peer hung up first: take the next one
+#ifdef EPROTO
+    case EPROTO:       // per-connection protocol hiccup, not our listener
+#endif
+      return AcceptOutcome::Retry;
+    case EMFILE:   // process fd table full
+    case ENFILE:   // system fd table full
+    case ENOBUFS:  // transient kernel memory pressure
+    case ENOMEM:
+      return AcceptOutcome::SoftExhausted;
+    default:
+      // EBADF, EINVAL, ENOTSOCK, EOPNOTSUPP, ...: the listener itself is
+      // broken and retrying would spin forever.
+      return AcceptOutcome::Fatal;
+  }
+}
+
+int accept_nonblocking(int listener_fd) {
+#if defined(__linux__)
+  return ::accept4(listener_fd, nullptr, nullptr,
+                   SOCK_NONBLOCK | SOCK_CLOEXEC);
+#else
+  const int fd = ::accept(listener_fd, nullptr, nullptr);
+  if (fd >= 0) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  }
+  return fd;
+#endif
 }
 
 Socket connect_unix(const std::string& path) {

@@ -43,6 +43,13 @@ class Socket {
   void shutdown_both();
   void close();
 
+  /// O_NONBLOCK on/off (the event-loop server runs every connection
+  /// non-blocking; the blocking client never calls this).
+  void set_nonblocking(bool enable);
+  /// TCP_NODELAY (no-op on non-TCP fds): small request/response and push
+  /// frames must not sit in Nagle's buffer.
+  void set_nodelay();
+
  private:
   int fd_ = -1;
 };
@@ -50,8 +57,13 @@ class Socket {
 class Listener {
  public:
   /// Bind + listen on 127.0.0.1:`port` (0 = ephemeral; see port()).
-  /// Throws std::runtime_error on failure.
-  static Listener tcp_loopback(std::uint16_t port);
+  /// Throws std::runtime_error on failure.  With `reuseport` true the
+  /// socket is bound with SO_REUSEPORT so every event-loop shard can own
+  /// its own listener on the same port and the kernel load-balances
+  /// accepts across them (falls back to plain SO_REUSEADDR where
+  /// SO_REUSEPORT is unavailable — the caller detects the failed sibling
+  /// bind and routes accepts through shard 0 instead).
+  static Listener tcp_loopback(std::uint16_t port, bool reuseport = false);
   /// Bind + listen on a Unix-domain stream socket at `path` (unlinked
   /// first, and unlinked again on destruction).
   static Listener unix_domain(const std::string& path);
@@ -71,6 +83,10 @@ class Listener {
   std::optional<Socket> accept(int timeout_ms);
   void close();
 
+  int fd() const { return fd_; }
+  /// O_NONBLOCK for event-loop accept draining.
+  void set_nonblocking();
+
  private:
   Listener(int fd, std::uint16_t port, std::string path)
       : fd_(fd), port_(port), path_(std::move(path)) {}
@@ -84,5 +100,25 @@ class Listener {
 Socket connect_tcp(const std::string& host, std::uint16_t port);
 /// Connect to a Unix-domain server; invalid Socket on failure.
 Socket connect_unix(const std::string& path);
+
+/// What an accept(2) failure means for the accept loop.  PR 5 treated
+/// every errno identically (drop the iteration); the event-loop core
+/// separates the transient cases from the fatal ones:
+enum class AcceptOutcome {
+  WouldBlock,     ///< EAGAIN/EWOULDBLOCK — backlog drained, wait for epoll
+  Retry,          ///< EINTR/ECONNABORTED/EPROTO — retry immediately
+  SoftExhausted,  ///< EMFILE/ENFILE/ENOBUFS/ENOMEM — fd/memory pressure;
+                  ///< back off and let the level-triggered poller re-arm
+  Fatal,          ///< anything else — the listener itself is broken
+};
+
+/// Pure classification of `errno` from a failed accept(2) (unit-tested
+/// directly; the regression test injects these through
+/// EntropyServerConfig::accept_fn).
+AcceptOutcome classify_accept_errno(int err);
+
+/// Non-blocking accept: returns the new fd (already O_NONBLOCK +
+/// close-on-exec) or -1 with errno set.
+int accept_nonblocking(int listener_fd);
 
 }  // namespace dhtrng::service

@@ -12,13 +12,25 @@ constexpr double kMaxLog = 709.782712893383996732;
 constexpr double kBig = 4.503599627370496e15;
 constexpr double kBigInv = 2.22044604925031308085e-16;
 
+/// lgamma(3) writes the global `signgam`, which races when concurrent
+/// service shards compute p-values; the reentrant variant returns the
+/// identical value without touching process-global state.
+double log_gamma(double a) {
+#if defined(__unix__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(a, &sign);
+#else
+  return std::lgamma(a);
+#endif
+}
+
 }  // namespace
 
 double igamc(double a, double x) {
   if (x <= 0 || a <= 0) return 1.0;
   if (x < 1.0 || x < a) return 1.0 - igam(a, x);
 
-  double ax = a * std::log(x) - x - std::lgamma(a);
+  double ax = a * std::log(x) - x - log_gamma(a);
   if (ax < -kMaxLog) return 0.0;
   ax = std::exp(ax);
 
@@ -62,7 +74,7 @@ double igam(double a, double x) {
   if (x <= 0 || a <= 0) return 0.0;
   if (x > 1.0 && x > a) return 1.0 - igamc(a, x);
 
-  double ax = a * std::log(x) - x - std::lgamma(a);
+  double ax = a * std::log(x) - x - log_gamma(a);
   if (ax < -kMaxLog) return 0.0;
   ax = std::exp(ax);
 

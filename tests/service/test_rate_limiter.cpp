@@ -1,0 +1,147 @@
+// Direct TokenBucket unit tests: refill rounding, burst boundaries, the
+// all-or-nothing withdrawal contract, clock regressions and the two
+// degenerate configurations (rate 0 = unlimited, burst 0 coerced to 1).
+// The service-level tests exercise the bucket only through frozen clocks;
+// these drive the refill arithmetic itself.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+
+#include "service/rate_limiter.h"
+
+namespace dhtrng::service {
+namespace {
+
+/// Hand-cranked clock shared with the bucket under test.
+struct TestClock {
+  std::uint64_t now_ns = 0;
+  TokenBucket::Clock fn() {
+    return [this] { return now_ns; };
+  }
+};
+
+TEST(TokenBucket, StartsFullAndFrozenClockNeverRefills) {
+  TestClock clock;
+  TokenBucket bucket(/*rate=*/1000, /*burst=*/100, clock.fn());
+  EXPECT_EQ(bucket.available(), 100u);
+  EXPECT_TRUE(bucket.try_acquire(100));
+  EXPECT_EQ(bucket.available(), 0u);
+  EXPECT_FALSE(bucket.try_acquire(1));  // no time passed, no refill
+}
+
+TEST(TokenBucket, WithdrawalIsAllOrNothing) {
+  TestClock clock;
+  TokenBucket bucket(1000, 100, clock.fn());
+  EXPECT_TRUE(bucket.try_acquire(64));
+  EXPECT_EQ(bucket.available(), 36u);
+  // A rejected withdrawal must not deduct anything.
+  EXPECT_FALSE(bucket.try_acquire(37));
+  EXPECT_EQ(bucket.available(), 36u);
+  EXPECT_TRUE(bucket.try_acquire(36));  // drains exactly
+  EXPECT_FALSE(bucket.try_acquire(1));
+}
+
+TEST(TokenBucket, RefillIsProportionalToElapsedTime) {
+  TestClock clock;
+  TokenBucket bucket(/*rate=*/1000 /*bytes/s*/, /*burst=*/1000, clock.fn());
+  ASSERT_TRUE(bucket.try_acquire(1000));
+  clock.now_ns = 250'000'000;  // 250 ms at 1000 B/s = 250 tokens
+  EXPECT_EQ(bucket.available(), 250u);
+  clock.now_ns = 1'000'000'000;
+  EXPECT_EQ(bucket.available(), 1000u);
+}
+
+TEST(TokenBucket, FractionalRefillRoundsDownButAccumulates) {
+  // available() truncates, but the fractional remainder is NOT lost: two
+  // half-token refills make one whole acquirable token.
+  TestClock clock;
+  TokenBucket bucket(/*rate=*/1, /*burst=*/10, clock.fn());
+  ASSERT_TRUE(bucket.try_acquire(10));
+  clock.now_ns = 500'000'000;  // 0.5 tokens
+  EXPECT_EQ(bucket.available(), 0u);
+  EXPECT_FALSE(bucket.try_acquire(1));
+  clock.now_ns = 1'000'000'000;  // 0.5 + 0.5 = 1.0
+  EXPECT_EQ(bucket.available(), 1u);
+  EXPECT_TRUE(bucket.try_acquire(1));
+  clock.now_ns = 2'000'000'000;  // another whole second, another token
+  EXPECT_EQ(bucket.available(), 1u);
+}
+
+TEST(TokenBucket, RefillCapsExactlyAtBurst) {
+  TestClock clock;
+  TokenBucket bucket(/*rate=*/1'000'000, /*burst=*/512, clock.fn());
+  ASSERT_TRUE(bucket.try_acquire(512));
+  clock.now_ns = 3'600'000'000'000;  // an hour: millions of tokens earned
+  EXPECT_EQ(bucket.available(), 512u);  // ...but the bucket holds burst
+  EXPECT_TRUE(bucket.try_acquire(512));
+  EXPECT_FALSE(bucket.try_acquire(1));
+}
+
+TEST(TokenBucket, BurstBoundaryWithdrawals) {
+  TestClock clock;
+  TokenBucket bucket(/*rate=*/100, /*burst=*/256, clock.fn());
+  EXPECT_FALSE(bucket.try_acquire(257));  // one over the brim
+  EXPECT_TRUE(bucket.try_acquire(256));   // exactly the brim
+  EXPECT_FALSE(bucket.try_acquire(1));
+  // Refill to exactly one token: 10 ms at 100 B/s.
+  clock.now_ns = 10'000'000;
+  EXPECT_FALSE(bucket.try_acquire(2));
+  EXPECT_TRUE(bucket.try_acquire(1));
+}
+
+TEST(TokenBucket, BackwardsClockIsIgnored) {
+  // A non-monotonic reading (now <= last) must neither refill nor crash —
+  // elapsed time is clamped at zero, never negative.
+  TestClock clock;
+  clock.now_ns = 1'000'000'000;
+  TokenBucket bucket(/*rate=*/1000, /*burst=*/100, clock.fn());
+  ASSERT_TRUE(bucket.try_acquire(100));
+  clock.now_ns = 0;  // the clock jumps backwards a full second
+  EXPECT_EQ(bucket.available(), 0u);
+  EXPECT_FALSE(bucket.try_acquire(1));
+  clock.now_ns = 1'000'000'000;  // back to the last-seen instant: still 0
+  EXPECT_EQ(bucket.available(), 0u);
+  clock.now_ns = 1'100'000'000;  // 100 ms of genuine forward progress
+  EXPECT_EQ(bucket.available(), 100u);
+}
+
+TEST(TokenBucket, ZeroRateMeansUnlimited) {
+  TestClock clock;
+  TokenBucket bucket(/*rate=*/0, /*burst=*/1, clock.fn());
+  EXPECT_TRUE(bucket.unlimited());
+  EXPECT_TRUE(bucket.try_acquire(~std::uint64_t{0}));
+  EXPECT_TRUE(bucket.try_acquire(1 << 30));
+  EXPECT_EQ(bucket.available(), ~std::uint64_t{0});
+}
+
+TEST(TokenBucket, ZeroBurstIsCoercedToOne) {
+  // burst 0 would deadlock every request forever; the constructor coerces
+  // it to 1 so a misconfigured limiter degrades to "one byte at a time".
+  TestClock clock;
+  TokenBucket bucket(/*rate=*/1'000'000'000, /*burst=*/0, clock.fn());
+  EXPECT_FALSE(bucket.unlimited());
+  EXPECT_EQ(bucket.available(), 1u);
+  EXPECT_TRUE(bucket.try_acquire(1));
+  EXPECT_FALSE(bucket.try_acquire(1));
+  clock.now_ns = 1'000'000;  // plenty of rate, but the cap is still 1
+  EXPECT_EQ(bucket.available(), 1u);
+  EXPECT_FALSE(bucket.try_acquire(2));
+  EXPECT_TRUE(bucket.try_acquire(1));
+}
+
+TEST(TokenBucket, DefaultClockGrantsAfterRealDelay) {
+  // Smoke the steady_clock default: a fast refill rate turns a short real
+  // sleep into at least one token (no frozen-clock seam on this path).
+  TokenBucket bucket(/*rate=*/1'000'000'000, /*burst=*/1024);
+  ASSERT_TRUE(bucket.try_acquire(1024));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!bucket.try_acquire(1)) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "bucket never refilled from the wall clock";
+  }
+}
+
+}  // namespace
+}  // namespace dhtrng::service

@@ -1,19 +1,28 @@
-// Protocol layer tests: the pure codec, then framing-robustness fuzz
-// against a live server — truncated, oversized, zero-length and garbage
-// frames plus mid-request disconnects.  The server must answer with a
-// structured error or close cleanly, never crash, hang, or leak the
-// connection slot (the active-connection gauge must drain to zero).
+// Protocol layer tests: the pure codec and the FrameAssembler byte-stream
+// state machine, then framing-robustness fuzz against a live server —
+// byte-at-a-time delivery, frames split across read() boundaries, frames
+// coalesced in one segment, truncated, oversized, zero-length and garbage
+// frames, mid-request disconnects, and a slow-loris peer holding a
+// half-written frame.  The server must answer with a structured error or
+// close cleanly, never crash, hang, leak the connection slot (the
+// active-connection gauge must drain to zero) or leak a file descriptor.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#ifdef __linux__
+#include <dirent.h>
+#endif
+
 #include "service/client.h"
 #include "service/entropy_server.h"
+#include "service/frame_assembler.h"
 #include "service/protocol.h"
 #include "service/socket.h"
 #include "support/fault_sources.h"
@@ -114,6 +123,165 @@ TEST(Protocol, DecodeResponseRejectsInconsistentFrames) {
 
   const std::uint8_t bad_status[] = {99, 0, 0, 0, 0, 0};
   EXPECT_FALSE(decode_response_payload(bad_status, sizeof(bad_status), resp));
+}
+
+// ----------------------------------------- frame assembly (pure, no I/O)
+
+/// One well-formed GET frame (length prefix included) for feeding the
+/// assembler in adversarial chunkings.
+std::vector<std::uint8_t> get_frame(std::uint32_t n_bytes) {
+  return encode_get_request(Quality::Raw, n_bytes);
+}
+
+TEST(FrameAssembler, ByteAtATimeReassemblesOneFrame) {
+  const auto frame = get_frame(4096);
+  FrameAssembler fa;
+  std::vector<std::uint8_t> payload;
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    fa.feed(&frame[i], 1);
+    EXPECT_FALSE(fa.next(payload)) << "emitted a frame " << (frame.size() - 1 - i)
+                                   << " bytes early";
+    EXPECT_EQ(fa.error(), FrameAssembler::Error::None);
+  }
+  fa.feed(&frame.back(), 1);
+  ASSERT_TRUE(fa.next(payload));
+  EXPECT_EQ(payload, std::vector<std::uint8_t>(frame.begin() + kLenPrefixBytes,
+                                               frame.end()));
+  EXPECT_EQ(fa.buffered(), 0u);
+  EXPECT_FALSE(fa.next(payload));
+}
+
+TEST(FrameAssembler, CoalescedFramesEmitInOrder) {
+  // Three complete frames plus a dangling partial, delivered as one read.
+  std::vector<std::uint8_t> stream;
+  for (const std::uint32_t n : {16u, 256u, 65536u}) {
+    const auto f = get_frame(n);
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  const auto partial = encode_stats_request();
+  stream.insert(stream.end(), partial.begin(), partial.end() - 1);
+
+  FrameAssembler fa;
+  fa.feed(stream.data(), stream.size());
+  std::vector<std::uint8_t> payload;
+  for (const std::uint32_t n : {16u, 256u, 65536u}) {
+    ASSERT_TRUE(fa.next(payload));
+    Request req;
+    ASSERT_EQ(decode_request(payload.data(), payload.size(), req),
+              DecodeError::None);
+    EXPECT_EQ(req.op, Opcode::Get);
+    EXPECT_EQ(req.n_bytes, n);
+  }
+  // The dangling partial stays buffered until its last byte arrives.
+  EXPECT_FALSE(fa.next(payload));
+  EXPECT_EQ(fa.error(), FrameAssembler::Error::None);
+  EXPECT_EQ(fa.buffered(), partial.size() - 1);
+  fa.feed(&partial.back(), 1);
+  ASSERT_TRUE(fa.next(payload));
+  Request req;
+  ASSERT_EQ(decode_request(payload.data(), payload.size(), req),
+            DecodeError::None);
+  EXPECT_EQ(req.op, Opcode::Stats);
+}
+
+TEST(FrameAssembler, EverySplitPointOfTwoFramesReassembles) {
+  // Two back-to-back frames split at every possible boundary: the
+  // assembler must emit exactly the same two payloads regardless of where
+  // the read() boundary fell.
+  std::vector<std::uint8_t> stream = get_frame(1234);
+  const auto second = get_frame(7);
+  stream.insert(stream.end(), second.begin(), second.end());
+  for (std::size_t split = 0; split <= stream.size(); ++split) {
+    FrameAssembler fa;
+    fa.feed(stream.data(), split);
+    std::vector<std::vector<std::uint8_t>> got;
+    std::vector<std::uint8_t> payload;
+    while (fa.next(payload)) got.push_back(payload);
+    fa.feed(stream.data() + split, stream.size() - split);
+    while (fa.next(payload)) got.push_back(payload);
+    ASSERT_EQ(got.size(), 2u) << "split at byte " << split;
+    Request req;
+    ASSERT_EQ(decode_request(got[0].data(), got[0].size(), req),
+              DecodeError::None);
+    EXPECT_EQ(req.n_bytes, 1234u);
+    ASSERT_EQ(decode_request(got[1].data(), got[1].size(), req),
+              DecodeError::None);
+    EXPECT_EQ(req.n_bytes, 7u);
+    EXPECT_EQ(fa.buffered(), 0u);
+  }
+}
+
+TEST(FrameAssembler, ZeroLengthHeaderLatchesStickyError) {
+  FrameAssembler fa;
+  const std::uint8_t zero[kLenPrefixBytes] = {0, 0, 0, 0};
+  fa.feed(zero, sizeof(zero));
+  std::vector<std::uint8_t> payload;
+  EXPECT_FALSE(fa.next(payload));
+  EXPECT_EQ(fa.error(), FrameAssembler::Error::ZeroLength);
+  // The stream is untrusted past a bad header: a valid frame behind it
+  // must NOT be emitted, and further feeds are ignored.
+  const auto valid = get_frame(8);
+  fa.feed(valid.data(), valid.size());
+  EXPECT_FALSE(fa.next(payload));
+  EXPECT_EQ(fa.error(), FrameAssembler::Error::ZeroLength);
+}
+
+TEST(FrameAssembler, OversizedHeaderLatchesBeforePayloadArrives) {
+  FrameAssembler fa(/*max_payload=*/64);
+  std::uint8_t header[kLenPrefixBytes];
+  write_u32le(header, 65);  // one byte over budget — rejected on sight
+  fa.feed(header, sizeof(header));
+  std::vector<std::uint8_t> payload;
+  EXPECT_FALSE(fa.next(payload));
+  EXPECT_EQ(fa.error(), FrameAssembler::Error::TooLarge);
+}
+
+TEST(FrameAssembler, CompactionPreservesAPartialFrameAtTheSeam) {
+  // Enough consumed traffic to cross the 4096-byte compaction threshold,
+  // with a frame deliberately left half-delivered across the compaction:
+  // the pending bytes must survive the buffer shuffle intact.
+  FrameAssembler fa(/*max_payload=*/kMaxRequestPayload);
+  std::vector<std::uint8_t> payload;
+  const auto filler = get_frame(1);  // 10 bytes on the wire
+  const auto tail = encode_subscribe_request(Quality::Drbg, 96, 250);
+  // Buffer 6000 wire bytes plus half the tail frame BEFORE consuming, so
+  // the consumed prefix crosses 4096 while the tail half is still pending
+  // and the erase-compaction branch actually runs.
+  for (int i = 0; i < 600; ++i) fa.feed(filler.data(), filler.size());
+  fa.feed(tail.data(), tail.size() / 2);
+  for (int i = 0; i < 600; ++i) ASSERT_TRUE(fa.next(payload));
+  EXPECT_FALSE(fa.next(payload));
+  fa.feed(tail.data() + tail.size() / 2, tail.size() - tail.size() / 2);
+  ASSERT_TRUE(fa.next(payload));
+  Request req;
+  ASSERT_EQ(decode_request(payload.data(), payload.size(), req),
+            DecodeError::None);
+  EXPECT_EQ(req.op, Opcode::Subscribe);
+  EXPECT_EQ(req.quality, Quality::Drbg);
+  EXPECT_EQ(req.n_bytes, 96u);
+  EXPECT_EQ(req.interval_ms, 250u);
+}
+
+// ------------------------------------- accept-errno classification (pure)
+
+TEST(AcceptErrno, TransientFatalAndBackpressureClassesAreSeparated) {
+  EXPECT_EQ(classify_accept_errno(EAGAIN), AcceptOutcome::WouldBlock);
+  EXPECT_EQ(classify_accept_errno(EWOULDBLOCK), AcceptOutcome::WouldBlock);
+
+  EXPECT_EQ(classify_accept_errno(EINTR), AcceptOutcome::Retry);
+  EXPECT_EQ(classify_accept_errno(ECONNABORTED), AcceptOutcome::Retry);
+#ifdef EPROTO
+  EXPECT_EQ(classify_accept_errno(EPROTO), AcceptOutcome::Retry);
+#endif
+
+  EXPECT_EQ(classify_accept_errno(EMFILE), AcceptOutcome::SoftExhausted);
+  EXPECT_EQ(classify_accept_errno(ENFILE), AcceptOutcome::SoftExhausted);
+  EXPECT_EQ(classify_accept_errno(ENOBUFS), AcceptOutcome::SoftExhausted);
+  EXPECT_EQ(classify_accept_errno(ENOMEM), AcceptOutcome::SoftExhausted);
+
+  EXPECT_EQ(classify_accept_errno(EBADF), AcceptOutcome::Fatal);
+  EXPECT_EQ(classify_accept_errno(EINVAL), AcceptOutcome::Fatal);
+  EXPECT_EQ(classify_accept_errno(0), AcceptOutcome::Fatal);
 }
 
 // ------------------------------------------------- live-server fixtures
@@ -390,6 +558,222 @@ TEST(ServiceProtocol, StopUnblocksIdleConnections) {
   EXPECT_EQ(fx.server->active_connections(), 0u);
   EXPECT_THROW(client.fetch(64), ProtocolError);  // peer is gone
 }
+
+// ------------------------------------------ delivery-fragmentation fuzz
+
+TEST(ServiceProtocol, ByteAtATimeDeliveryServes) {
+  // The cruellest fragmentation a TCP peer can produce: one byte per
+  // segment (small sleeps defeat Nagle coalescing on loopback).  The
+  // event-loop read path must reassemble and answer normally.
+  ServerFixture fx;
+  Socket s = fx.raw_connect();
+  const auto frame = encode_get_request(Quality::Conditioned, 48);
+  for (const std::uint8_t byte : frame) {
+    ASSERT_TRUE(s.write_all(&byte, 1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto resp = read_response(s);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, Status::Ok);
+  EXPECT_EQ(resp->payload.size(), 48u);
+  s.close();
+  EXPECT_TRUE(fx.drained());
+  EXPECT_EQ(fx.server->metrics().protocol_errors.load(), 0u);
+}
+
+TEST(ServiceProtocol, FrameSplitAcrossReadBoundariesServes) {
+  // Header and payload land in separate read() calls, with the payload
+  // itself split mid-field — no boundary may confuse the assembler.
+  ServerFixture fx;
+  Socket s = fx.raw_connect();
+  const auto frame = encode_get_request(Quality::Raw, 96);
+  ASSERT_TRUE(s.write_all(frame.data(), kLenPrefixBytes));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE(s.write_all(frame.data() + kLenPrefixBytes, 3));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE(s.write_all(frame.data() + kLenPrefixBytes + 3,
+                          frame.size() - kLenPrefixBytes - 3));
+  const auto resp = read_response(s);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, Status::Ok);
+  EXPECT_EQ(resp->payload.size(), 96u);
+  s.close();
+  EXPECT_TRUE(fx.drained());
+}
+
+TEST(ServiceProtocol, CoalescedFramesInOneSegmentServeInOrder) {
+  // Four requests in a single write: responses must come back strictly in
+  // request order (the FIFO write queue forbids interleaving).
+  ServerFixture fx;
+  Socket s = fx.raw_connect();
+  std::vector<std::uint8_t> burst;
+  for (const std::uint32_t n : {16u, 32u, 48u}) {
+    const auto f = encode_get_request(Quality::Raw, n);
+    burst.insert(burst.end(), f.begin(), f.end());
+  }
+  const auto stats = encode_stats_request();
+  burst.insert(burst.end(), stats.begin(), stats.end());
+  ASSERT_TRUE(s.write_all(burst.data(), burst.size()));
+
+  for (const std::uint32_t n : {16u, 32u, 48u}) {
+    const auto resp = read_response(s);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->status, Status::Ok);
+    EXPECT_EQ(resp->payload.size(), n);
+  }
+  const auto resp = read_response(s);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, Status::Ok);
+  EXPECT_NE(resp->text().find("bytes_served_total 96"), std::string::npos);
+  s.close();
+  EXPECT_TRUE(fx.drained());
+}
+
+#ifdef __linux__
+/// Open file descriptors of this process (server + clients live in one
+/// process here, so a leaked connection fd shows up in the count).
+std::size_t open_fd_count() {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  std::size_t n = 0;
+  while (readdir(dir) != nullptr) ++n;
+  closedir(dir);
+  return n;
+}
+#endif
+
+TEST(ServiceProtocol, SlowLorisReleasesSlotsAndLeaksNoFds) {
+#ifndef __linux__
+  GTEST_SKIP() << "fd accounting reads /proc/self/fd";
+#else
+  ServerFixture fx;
+  // Warm every lazy allocation (DRBG, pool buffers) before the baseline.
+  {
+    auto warm = fx.client();
+    ASSERT_TRUE(warm.fetch(32, Quality::Drbg).ok());
+    warm.close();
+  }
+  ASSERT_TRUE(fx.drained());
+  const std::size_t baseline = open_fd_count();
+  ASSERT_GT(baseline, 0u);
+
+  // Three slow-loris peers each hold a half-written frame open...
+  std::vector<Socket> loris;
+  for (int i = 0; i < 3; ++i) {
+    Socket s = fx.raw_connect();
+    const auto frame = encode_get_request(Quality::Raw, 64);
+    ASSERT_TRUE(s.write_all(frame.data(), frame.size() - 2));
+    loris.push_back(std::move(s));
+  }
+  EXPECT_TRUE(eventually(
+      [&] { return fx.server->active_connections() == 3; }));
+
+  // ...while the event loop keeps serving everyone else at full speed
+  // (a blocking-read server would have parked three threads here).
+  auto bystander = fx.client();
+  ASSERT_TRUE(bystander.fetch(128).ok());
+  bystander.close();
+
+  // The loris connections vanish mid-frame: every slot must come back and
+  // every fd must be reclaimed.
+  const std::uint64_t errors_before =
+      fx.server->metrics().protocol_errors.load();
+  for (auto& s : loris) s.close();
+  loris.clear();
+  EXPECT_TRUE(fx.drained());
+  EXPECT_TRUE(eventually([&] {
+    return fx.server->metrics().protocol_errors.load() >= errors_before + 3;
+  }));
+  EXPECT_TRUE(eventually([&] { return open_fd_count() == baseline; }));
+  const auto& m = fx.server->metrics();
+  EXPECT_EQ(m.connections_closed.load(), m.connections_accepted.load());
+#endif
+}
+
+// --------------------------------------------- accept-path fault injection
+
+TEST(ServiceProtocol, AcceptEintrAndAbortRetriesThenServes) {
+  // Regression for the PR 5 accept loop, which treated every accept errno
+  // as "drop this iteration": EINTR/ECONNABORTED must be retried in place,
+  // counted, and never escalate to the fatal path.
+  EntropyServerConfig cfg;
+  cfg.shards = 1;
+  std::atomic<int> failures{4};
+  cfg.accept_fn = [&failures](int listener_fd) -> int {
+    const int left = failures.fetch_sub(1);
+    if (left > 2) {
+      errno = EINTR;
+      return -1;
+    }
+    if (left > 0) {
+      errno = ECONNABORTED;
+      return -1;
+    }
+    return accept_nonblocking(listener_fd);
+  };
+  ServerFixture fx(cfg);
+  auto client = fx.client();
+  const auto result = client.fetch(64);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.bytes.size(), 64u);
+  client.close();
+  EXPECT_TRUE(fx.drained());
+  const auto& m = fx.server->metrics();
+  EXPECT_GE(m.accept_retries.load(), 4u);
+  EXPECT_EQ(m.accept_fatal_errors.load(), 0u);
+  EXPECT_EQ(m.connections_accepted.load(), 1u);
+}
+
+TEST(ServiceProtocol, AcceptFdExhaustionBacksOffAndRecovers) {
+  // EMFILE-class pressure is not fatal: the loop backs off and the
+  // level-triggered poller re-delivers the pending connection.
+  EntropyServerConfig cfg;
+  cfg.shards = 1;
+  std::atomic<int> failures{2};
+  cfg.accept_fn = [&failures](int listener_fd) -> int {
+    if (failures.fetch_sub(1) > 0) {
+      errno = EMFILE;
+      return -1;
+    }
+    return accept_nonblocking(listener_fd);
+  };
+  ServerFixture fx(cfg);
+  auto client = fx.client();
+  ASSERT_TRUE(client.fetch(32).ok());
+  client.close();
+  EXPECT_TRUE(fx.drained());
+  const auto& m = fx.server->metrics();
+  EXPECT_GE(m.accept_soft_errors.load(), 2u);
+  EXPECT_EQ(m.accept_fatal_errors.load(), 0u);
+}
+
+// -------------------------------------------------- poller backend matrix
+
+TEST(ServiceProtocol, PollFallbackBackendServesIdentically) {
+  // CI runs Linux, where epoll is the default; force_poll_backend keeps
+  // the portable poll(2) path honest on the same platform.
+  EntropyServerConfig cfg;
+  cfg.force_poll_backend = true;
+  cfg.shards = 2;
+  ServerFixture fx(cfg);
+  EXPECT_FALSE(fx.server->using_epoll());
+  EXPECT_EQ(fx.server->shard_count(), 2u);
+  auto client = fx.client();
+  const auto result = client.fetch(256, Quality::Conditioned);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.bytes.size(), 256u);
+  const auto stats = client.stats();
+  EXPECT_NE(stats.find("epoll_wakeups"), std::string::npos);
+  client.close();
+  EXPECT_TRUE(fx.drained());
+}
+
+#ifdef __linux__
+TEST(ServiceProtocol, EpollBackendIsTheLinuxDefault) {
+  ServerFixture fx;
+  EXPECT_TRUE(fx.server->using_epoll());
+}
+#endif
 
 }  // namespace
 }  // namespace dhtrng::service
