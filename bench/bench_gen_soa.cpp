@@ -17,7 +17,7 @@
 //   --reps=<n>            best-of reps after one warmup rep (default 3)
 //   --out=<path>          JSON output path (default BENCH_gen.json)
 //   --trajectory=<path>   JSON-lines trajectory file to append to
-//                         (default BENCH_gen_trajectory.jsonl)
+//                         (default bench/trajectory/BENCH_gen_trajectory.jsonl)
 //   --baseline=<path>     compare speedup against a baseline JSON;
 //                         exit 1 on >--max-regress-pct regression
 //   --max-regress-pct=<p> allowed speedup regression in percent (default 20)
@@ -57,7 +57,8 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(flag(argc, argv, "reps", 3));
   const std::string out_path = flag_str(argc, argv, "out", "BENCH_gen.json");
   const std::string traj_path =
-      flag_str(argc, argv, "trajectory", "BENCH_gen_trajectory.jsonl");
+      flag_str(argc, argv, "trajectory",
+               dhtrng::bench::trajectory_path("gen"));
   const std::string baseline_path = flag_str(argc, argv, "baseline", "");
   const double max_regress_pct =
       static_cast<double>(flag(argc, argv, "max-regress-pct", 20));

@@ -323,7 +323,7 @@ int main(int argc, char** argv) {
   const std::string out_path =
       flag_str(argc, argv, "out", "BENCH_service_load.json");
   const std::string traj_path = flag_str(argc, argv, "trajectory",
-                                         "BENCH_service_trajectory.jsonl");
+                                         dhtrng::bench::trajectory_path("service"));
   const std::string baseline_path = flag_str(argc, argv, "baseline", "");
   const double max_regress_pct =
       static_cast<double>(flag(argc, argv, "max-regress-pct", 20));

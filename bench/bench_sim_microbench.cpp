@@ -23,7 +23,7 @@
 //                        fabricate regressions
 //   --out=<path>         JSON output path (default BENCH_sim.json)
 //   --trajectory=<path>  JSON-lines perf-trajectory file to append to
-//                        (default BENCH_sim_trajectory.jsonl)
+//                        (default bench/trajectory/BENCH_sim_trajectory.jsonl)
 //   --baseline=<path>    compare speedups against a baseline JSON;
 //                        exit 1 on >--max-regress-pct regression
 //   --max-regress-pct=<p> allowed speedup regression in percent (default 20)
@@ -236,7 +236,8 @@ int main(int argc, char** argv) {
   // for an event-engine bench, so the field is 0 and ns/event carries the
   // signal — the speedup rides along in the extra field).
   const std::string traj_path =
-      flag_str(argc, argv, "trajectory", "BENCH_sim_trajectory.jsonl");
+      flag_str(argc, argv, "trajectory",
+               dhtrng::bench::trajectory_path("sim"));
   for (const CaseResult& r : results) {
     dhtrng::bench::append_trajectory(
         traj_path, "sim_" + r.name, 1e9 / r.calendar_eps, 0.0,

@@ -23,6 +23,9 @@
 //                        wall time is min-of-reps so scheduling noise on
 //                        busy runners doesn't fabricate regressions
 //   --out=<path>         JSON output path (default BENCH_stats.json)
+//   --trajectory=<path>  JSONL perf-trajectory log to append the suite
+//                        aggregates to (default
+//                        bench/trajectory/BENCH_stats_trajectory.jsonl)
 //   --baseline=<path>    compare speedups against a baseline JSON;
 //                        exit 1 on >--max-regress-pct regression
 //   --max-regress-pct=<p> allowed speedup regression in percent (default 20)
@@ -144,6 +147,8 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(flag(argc, argv, "seed", 1));
   const int reps = static_cast<int>(flag(argc, argv, "reps", 3));
   const std::string out_path = flag_str(argc, argv, "out", "BENCH_stats.json");
+  const std::string traj_path = flag_str(argc, argv, "trajectory",
+                                         dhtrng::bench::trajectory_path("stats"));
   const std::string baseline_path = flag_str(argc, argv, "baseline", "");
   const double max_regress_pct =
       static_cast<double>(flag(argc, argv, "max-regress-pct", 20));
@@ -222,6 +227,18 @@ int main(int argc, char** argv) {
     out << json.str();
   }
   std::printf("\nwrote %s\n", out_path.c_str());
+
+  for (std::size_t t = results.size() - 2; t < results.size(); ++t) {
+    const CaseResult& r = results[t];
+    std::ostringstream extra;
+    extra << "\"case\": \"" << r.name << "\", \"speedup\": " << r.speedup
+          << ", \"ns_per_bit_scalar\": " << r.scalar_ns_per_bit
+          << ", \"kbits\": " << n / 1000;
+    dhtrng::bench::append_trajectory(traj_path, "stats_microbench",
+                                     r.wordwise_ns_per_bit,
+                                     1000.0 / r.wordwise_ns_per_bit,
+                                     extra.str());
+  }
 
   if (!all_identical) {
     std::printf("FAIL: engines disagree — results not bit-identical\n");

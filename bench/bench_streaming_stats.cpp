@@ -32,7 +32,7 @@
 //   --reps=<n>            best-of reps after one warmup rep (default 3)
 //   --out=<path>          JSON output path (default BENCH_streaming.json)
 //   --trajectory=<path>   JSON-lines trajectory file to append to
-//                         (default BENCH_streaming_trajectory.jsonl)
+//                         (default bench/trajectory/BENCH_streaming_trajectory.jsonl)
 //   --baseline=<path>     compare headroom against a baseline JSON;
 //                         exit 1 on >--max-regress-pct regression
 //   --max-regress-pct=<p> allowed headroom regression in percent (default 20)
@@ -75,7 +75,8 @@ int main(int argc, char** argv) {
   const std::string out_path =
       flag_str(argc, argv, "out", "BENCH_streaming.json");
   const std::string traj_path =
-      flag_str(argc, argv, "trajectory", "BENCH_streaming_trajectory.jsonl");
+      flag_str(argc, argv, "trajectory",
+               dhtrng::bench::trajectory_path("streaming"));
   const std::string baseline_path = flag_str(argc, argv, "baseline", "");
   const double max_regress_pct =
       static_cast<double>(flag(argc, argv, "max-regress-pct", 20));

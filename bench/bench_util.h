@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <utility>
@@ -109,21 +110,44 @@ inline std::string git_commit() {
   return s.empty() ? "unknown" : s;
 }
 
+/// Default trajectory path for a bench: all benches share one directory so
+/// the JSONL history accumulates in a predictable place (CI uploads the
+/// whole directory as an artifact).
+inline std::string trajectory_path(const std::string& bench) {
+  return "bench/trajectory/BENCH_" + bench + "_trajectory.jsonl";
+}
+
 /// Append one machine-readable perf-trajectory record to `path` (JSON
 /// Lines: one object per line, so appending never needs to parse what is
-/// already there).  CI uploads these as artifacts; plotting the file gives
-/// the perf history of a runner across commits.
+/// already there).  Creates the parent directory if needed and warns on
+/// stderr instead of silently dropping the row — an empty trajectory
+/// should never be a silent failure again.
 inline void append_trajectory(const std::string& path,
                               const std::string& bench,
                               double ns_per_event, double mbit_per_s,
                               const std::string& extra_json = "") {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+    // A failure here surfaces as the open failure below.
+  }
   std::ofstream out(path, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot append trajectory row to %s\n",
+                 path.c_str());
+    return;
+  }
   out << "{\"date\": \"" << iso_date_utc() << "\", \"commit\": \""
       << git_commit() << "\", \"bench\": \"" << bench
       << "\", \"ns_per_event\": " << ns_per_event
       << ", \"mbit_per_s\": " << mbit_per_s;
   if (!extra_json.empty()) out << ", " << extra_json;
   out << "}\n";
+  if (!out.good()) {
+    std::fprintf(stderr, "warning: short trajectory write to %s\n",
+                 path.c_str());
+  }
 }
 
 }  // namespace dhtrng::bench

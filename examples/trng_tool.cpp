@@ -3,18 +3,28 @@
 //   trng_tool generate [--device=artix7|virtex6] [--bits=N] [--seed=S]
 //                      [--backend=fast|gate|soa] [--format=hex|bin|bits]
 //                      [--post=none|vn|peres|xor4|sha256]
+//                      [--noise-mode=fast|exact]
 //   trng_tool evaluate [--device=...] [--bits=N] [--seed=S] [--threads=T]
-//   trng_tool report   [--device=...] [--bits=N] [--seed=S]
+//                      [--noise-mode=...]
+//   trng_tool report   [--device=...] [--bits=N] [--seed=S] [--noise-mode=...]
 //   trng_tool serve    [--port=P] [--unix=PATH] [--producers=N]
 //                      [--workers=N] [--seed=S] [--device=] [--backend=]
-//                      [--rate-mbps=R] [--max-request=N]
+//                      [--rate-mbps=R] [--max-request=N] [--noise-mode=...]
 //   trng_tool fetch    [--host=H] [--port=P] [--unix=PATH] [--bytes=N]
 //                      [--quality=raw|conditioned|drbg] [--format=hex|bin]
 //   trng_tool subscribe [--host=H] [--port=P] [--unix=PATH] [--bytes=N]
 //                      [--interval-ms=M] [--count=K] [--quality=...]
-//                      [--format=hex|bin]
+//                      [--format=hex|bin] [--noise-mode=...]
 //   trng_tool stats    [--host=H] [--port=P] [--unix=PATH]
 //   trng_tool cert     [--host=H] [--port=P] [--unix=PATH]
+//
+// `--noise-mode` selects the noise fidelity uniformly across the
+// generator-side commands: `exact` (default; golden-digest-pinned streams)
+// or `fast` (fused SIMD Box-Muller kernels, statistically equivalent,
+// deterministic per (seed, mode) but a different bit stream).  For the
+// `soa` backend the default is `fast` — its bulk engine.  `subscribe`
+// takes the flag too as a client-side guard: it checks the server's
+// advertised `noise_mode` (STATS) and refuses to stream when they differ.
 //
 // `generate` writes to stdout; `evaluate` runs the quick statistical
 // screen (bias, ACF, core SP 800-90B estimators, IID permutation test);
@@ -31,6 +41,7 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 
@@ -58,6 +69,18 @@ std::string flag(int argc, char** argv, const char* name,
   return fallback;
 }
 
+/// Validated --noise-mode parse; `fallback` is the command's default
+/// ("exact" everywhere except the soa backend's bulk engine).  Exits the
+/// usual flag-error way (return via throw) on anything else.
+noise::NoiseMode parse_noise_mode(int argc, char** argv,
+                                  const std::string& fallback) {
+  const std::string mode = flag(argc, argv, "noise-mode", fallback);
+  if (mode == "fast") return noise::NoiseMode::Fast;
+  if (mode == "exact") return noise::NoiseMode::Exact;
+  throw std::runtime_error("unknown --noise-mode=" + mode +
+                           " (expected fast|exact)");
+}
+
 core::DhTrngConfig make_core_config(int argc, char** argv) {
   core::DhTrngConfig cfg;
   if (flag(argc, argv, "device", "artix7") == "virtex6") {
@@ -67,6 +90,7 @@ core::DhTrngConfig make_core_config(int argc, char** argv) {
   if (flag(argc, argv, "backend", "fast") == "gate") {
     cfg.backend = core::Backend::GateLevel;
   }
+  cfg.noise_mode = parse_noise_mode(argc, argv, "exact");
   return cfg;
 }
 
@@ -78,6 +102,7 @@ std::unique_ptr<core::TrngSource> make_trng(int argc, char** argv) {
   if (flag(argc, argv, "backend", "fast") == "soa") {
     core::DhTrngSoAConfig cfg;
     cfg.core = make_core_config(argc, argv);
+    cfg.noise_mode = parse_noise_mode(argc, argv, "fast");
     return std::make_unique<core::DhTrngSoA>(cfg);
   }
   return std::make_unique<core::DhTrng>(make_core_config(argc, argv));
@@ -184,6 +209,7 @@ int cmd_serve(int argc, char** argv) {
   if (flag(argc, argv, "backend", "fast") == "gate") {
     core_cfg.backend = core::Backend::GateLevel;
   }
+  core_cfg.noise_mode = parse_noise_mode(argc, argv, "exact");
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
@@ -273,6 +299,31 @@ int cmd_subscribe(int argc, char** argv) {
   }
   const bool binary = flag(argc, argv, "format", "hex") == "bin";
 
+  // Client-side noise-mode guard: the stream's fidelity is fixed by the
+  // server, so when the caller asked for a specific mode, check the
+  // server's advertised `noise_mode` (STATS) before subscribing and
+  // refuse a mismatched stream instead of silently delivering the other
+  // grade.
+  if (flag(argc, argv, "noise-mode", "") != "") {
+    const noise::NoiseMode want = parse_noise_mode(argc, argv, "exact");
+    const std::string stats = client.stats();
+    std::string server_mode = "unknown";
+    const std::string tag = "noise_mode ";
+    const std::size_t at = stats.find(tag);
+    if (at != std::string::npos) {
+      const std::size_t end = stats.find('\n', at);
+      server_mode = stats.substr(at + tag.size(), end - at - tag.size());
+    }
+    const std::string want_name =
+        want == noise::NoiseMode::Fast ? "fast" : "exact";
+    if (server_mode != want_name) {
+      std::fprintf(stderr,
+                   "noise-mode mismatch: requested %s, server serves %s\n",
+                   want_name.c_str(), server_mode.c_str());
+      return 1;
+    }
+  }
+
   const auto ack = client.subscribe(chunk, interval_ms, *quality);
   if (!ack.ok()) {
     std::fprintf(stderr, "subscribe refused: %s (%s)\n",
@@ -327,7 +378,7 @@ int main(int argc, char** argv) {
                  "stats|cert "
                  "[--device=] [--bits=] [--seed=] [--backend=] [--format=] "
                  "[--post=] [--port=] [--unix=] [--bytes=] [--quality=] "
-                 "[--interval-ms=] [--count=]\n",
+                 "[--interval-ms=] [--count=] [--noise-mode=fast|exact]\n",
                  argv[0]);
     return 2;
   }

@@ -83,6 +83,7 @@ DhTrng::DhTrng(DhTrngConfig config)
     sc.seed = config_.seed;
     sc.gate_jitter = config_.device.gate_jitter;
     sc.scaling = scale_;
+    sc.noise_mode = config_.noise_mode;
     sim_ = std::make_unique<sim::Simulator>(netlist_->circuit, sc);
     sim_->record_dff(netlist_->out_dff);
   }
@@ -152,6 +153,7 @@ void DhTrng::restart() {
     sc.seed = mix.next();
     sc.gate_jitter = config_.device.gate_jitter;
     sc.scaling = scale_;
+    sc.noise_mode = config_.noise_mode;
     sim_ = std::make_unique<sim::Simulator>(netlist_->circuit, sc);
     sim_->record_dff(netlist_->out_dff);
     sample_cursor_ = 0;

@@ -50,6 +50,11 @@ struct DhTrngConfig {
   /// noise PVT factor, which is what makes measured min-entropy dip at the
   /// corners of Figure 9.  Set 0 to disable.
   double data_noise_ps = 10.0;
+  /// Noise fidelity (see noise::NoiseMode).  Applies to the gate-level
+  /// backend's event simulator; the phase-domain Fast backend has a single
+  /// exact-grade stream and ignores it.  The bitsliced bulk backend
+  /// carries its own knob (DhTrngSoAConfig::noise_mode).
+  noise::NoiseMode noise_mode = noise::NoiseMode::Exact;
 };
 
 /// The device/PVT-tuned phase-model parameter set DhTrng's fast backend is

@@ -174,15 +174,14 @@ void init_engine(soa::EngineState& st, const DhTrngSoAConfig& cfg,
   st.data_kick = core.data_noise_ps * 0.5 * corr * corr * corr * corr;
 
   // Flicker lattice start: fill every octave row with unit normals from the
-  // engine stream (the scalar FlickerNoise constructor draws its rows the
-  // same way, just from per-ring generators).
+  // engine stream via the fused gaussian fill (the scalar FlickerNoise
+  // constructor draws its rows the same way, just from per-ring
+  // generators).
   {
     const std::size_t n = static_cast<std::size_t>(
         soa::kRings * soa::kOctaves * soa::kLanes);
-    std::vector<std::uint64_t> r0(n);
     std::vector<double> g0(n);
-    st.rng.fill(r0.data(), n);
-    support::simd::boxmuller_transform(r0.data(), g0.data(), n);
+    st.rng.gaussian_fill(g0.data(), n);
     std::size_t at = 0;
     for (int r = 0; r < soa::kRings; ++r) {
       for (int o = 0; o < soa::kOctaves; ++o) {

@@ -75,18 +75,20 @@ struct alignas(64) EngineState {
   support::simd::XoshiroSoA rng;
 
   // --- per-step scratch ----------------------------------------------------
-  // Raw layout: normals-feeding words first (whites, shared, one flicker
-  // octave row when it refreshes), then the uniform blocks: per-unit Q1
-  // aperture coins, Q2 aperture coins (whose sign bits double as the
-  // metastable-latch fair coins — a lane is either held or oscillating, so
-  // each word is consumed by exactly one of the two uses), hold-capture
-  // draws.
+  // Normals come straight from the fused XoshiroSoA::gaussian_fill (two
+  // per raw word, never staged here); `raw` holds only the uniform words,
+  // each sliced into two 32-bit coins: per-unit aperture words (high half
+  // the Q1 coin, low half the Q2 coin — a lane consumes Q2's coin only
+  // when oscillating) and per-unit sub-threshold words (high half the
+  // hold-capture draw, bit 31 the metastable-latch fair coin — capture is
+  // consumed on freeze transitions, the fair coin on held lanes, disjoint
+  // within a step).
   static constexpr int kNormWhiteOff = 0;                 // 12*64 normals
   static constexpr int kNormSharedOff = kRings * kLanes;  // 64 normals
   static constexpr int kNormFlickOff = kNormSharedOff + kLanes;
   static constexpr int kNormMax = kNormFlickOff + kRings * kLanes;
-  static constexpr int kRawUniform = 12 * kLanes;
-  std::uint64_t raw[kNormMax + kRawUniform];
+  static constexpr int kRawUniform = 8 * kLanes;
+  std::uint64_t raw[kRawUniform];
   double norm[kNormMax];
   double shared_eff[kLanes];
   double x[kLanes], pk[kLanes];

@@ -29,18 +29,22 @@ namespace dhtrng::noise {
 ///  * Exact — the historical draw-for-draw arithmetic (polar-method
 ///    gaussians, per-sample flicker summation).  Golden-waveform digests
 ///    pin this stream; it is the default everywhere.
-///  * Fast — batched Box-Muller through the dispatched SIMD kernels
-///    (support/simd_noise.h) plus pre-combined delay blocks.  The streams
-///    are statistically equivalent but NOT bit-compatible with Exact, so
+///  * Fast — fused xoshiro + Box-Muller through the dispatched SIMD
+///    kernels (support/simd_noise.h; two trimmed-grade normals per raw
+///    word) plus pre-combined delay blocks.  The streams are
+///    statistically equivalent but NOT bit-compatible with Exact, so
 ///    golden digests do not apply; waveforms are still deterministic per
 ///    (seed, mode) and identical across dispatch tiers.
 enum class NoiseMode { Exact, Fast };
 
 /// Fast-mode noise is drawn in fixed blocks of this many samples in every
-/// component (white, flicker, shared supply), which keeps the fast stream
-/// chunk-aligned: waveforms in NoiseMode::Fast are independent of the
-/// set_batch() configuration.
-inline constexpr std::size_t kFastNoiseBlock = 64;
+/// component (white, flicker, shared supply), so waveforms in
+/// NoiseMode::Fast are independent of the set_batch() configuration.  The
+/// fused gaussian_fill_fast stream is position-fixed (normals 2j, 2j+1
+/// come from the j-th raw word regardless of chunking), so any even block
+/// size draws the same values — this constant only amortizes refill
+/// overhead.
+inline constexpr std::size_t kFastNoiseBlock = 256;
 
 struct JitterParams {
   double white_sigma_ps = 1.0;      ///< per-edge white jitter sigma

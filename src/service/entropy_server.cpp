@@ -115,6 +115,8 @@ EntropyServer::EntropyServer(EntropyServerConfig config,
 
 std::unique_ptr<EntropyServer> EntropyServer::of_dhtrng(
     EntropyServerConfig config, core::DhTrngConfig core) {
+  config.noise_mode_label =
+      core.noise_mode == noise::NoiseMode::Fast ? "fast" : "exact";
   return std::make_unique<EntropyServer>(
       std::move(config),
       [core](std::size_t, std::uint64_t seed)
@@ -474,7 +476,7 @@ Response EntropyServer::serve_request(const Request& request,
     const core::PoolCertSnapshot cert = pool_.cert_snapshot();
     const std::string text =
         render_stats(metrics_, state(), pool_.snapshot(), &cert,
-                     config_.cert);
+                     config_.cert, config_.noise_mode_label);
     response.payload.assign(text.begin(), text.end());
     return response;
   }

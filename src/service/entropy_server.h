@@ -109,6 +109,12 @@ struct EntropyServerConfig {
   /// snapshots in CERT/STATS output (pool.certify enables the trackers).
   stats::streaming::Thresholds cert;
 
+  /// Noise fidelity label reported as `noise_mode` in STATS output
+  /// ("exact" or "fast").  Purely informational — the actual mode lives
+  /// in the producer configs the SourceFactory captures; of_dhtrng sets
+  /// this from DhTrngConfig::noise_mode automatically.
+  std::string noise_mode_label = "exact";
+
   /// DRBG parameters for the Drbg quality and the DEGRADED fallback
   /// (reseed_interval controls how often generate calls pull fresh pool
   /// entropy on their own, on top of the per-quarantine reseeds).

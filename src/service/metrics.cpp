@@ -4,6 +4,8 @@
 #include <limits>
 #include <sstream>
 
+#include "support/simd_noise.h"
+
 namespace dhtrng::service {
 
 namespace {
@@ -90,12 +92,16 @@ void Metrics::count_error(Status status) {
 std::string render_stats(const Metrics& m, ServiceState state,
                          const core::PoolHealthSnapshot& pool,
                          const core::PoolCertSnapshot* cert,
-                         const stats::streaming::Thresholds& thresholds) {
+                         const stats::streaming::Thresholds& thresholds,
+                         const std::string& noise_mode_label) {
   const auto v = [](const std::atomic<std::uint64_t>& a) {
     return a.load(std::memory_order_relaxed);
   };
   std::ostringstream out;
   out << "state " << service_state_name(state) << '\n'
+      << "simd_tier "
+      << support::simd::tier_name(support::simd::active_tier()) << '\n'
+      << "noise_mode " << noise_mode_label << '\n'
       << "bytes_served_total " << v(m.bytes_served_total) << '\n'
       << "bytes_served_raw " << v(m.bytes_served_raw) << '\n'
       << "bytes_served_conditioned " << v(m.bytes_served_conditioned) << '\n'

@@ -86,16 +86,19 @@ struct Metrics {
   void count_error(Status status);
 };
 
-/// Plaintext dump: one "key value" line per counter, plus the ladder state
-/// and the pool-health snapshot.  With a cert snapshot, appends one live
-/// line triple per producer (bits / pass / live min-entropy) so operators
-/// see per-source health at a glance; the full breakdown lives behind the
-/// CERT verb.  Values always lead with a digit (the degradation tests
-/// stoull every non-state value).
+/// Plaintext dump: one "key value" line per counter, plus the ladder state,
+/// the active SIMD dispatch tier (`simd_tier`), the generator's noise mode
+/// (`noise_mode`, from EntropyServerConfig::noise_mode_label) and the
+/// pool-health snapshot.  With a cert snapshot, appends one live line
+/// triple per producer (bits / pass / live min-entropy) so operators see
+/// per-source health at a glance; the full breakdown lives behind the CERT
+/// verb.  Counter values lead with a digit; `state`, `simd_tier` and
+/// `noise_mode` carry text values (parsers must skip or special-case them).
 std::string render_stats(const Metrics& metrics, ServiceState state,
                          const core::PoolHealthSnapshot& pool,
                          const core::PoolCertSnapshot* cert = nullptr,
-                         const stats::streaming::Thresholds& thresholds = {});
+                         const stats::streaming::Thresholds& thresholds = {},
+                         const std::string& noise_mode_label = "exact");
 
 /// Plaintext CERT dump: the full per-producer + merged streaming
 /// certification snapshots, same "key value" line format as STATS.

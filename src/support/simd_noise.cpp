@@ -4,7 +4,6 @@
 
 #include "support/simd_noise.h"
 
-#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 
@@ -16,29 +15,60 @@
 
 namespace dhtrng::support::simd {
 
+// Every tier exports the same kernel set; the per-tier namespaces repeat
+// this list (kept as a macro so a new kernel can't be declared for one
+// tier and forgotten for another).
+#define DHTRNG_KERNEL_DECLS                                                   \
+  void boxmuller_transform(const std::uint64_t* raw, double* out,             \
+                           std::size_t n);                                    \
+  void boxmuller_fill(std::uint64_t s[4], double* out, std::size_t n);        \
+  void xoshiro_soa_gaussian_fill(std::uint64_t s[4][64], double* out,         \
+                                 std::size_t n);                              \
+  void sin2pi_batch(const double* turns, double* out, std::size_t n);         \
+  void sin2pi_batch_trimmed(const double* turns, double* out, std::size_t n); \
+  void normal_cdf_batch(const double* x, double* out, std::size_t n);         \
+  void normal_cdf_batch_trimmed(const double* x, double* out, std::size_t n); \
+  void normal_cdf_batch_trimmed_gated(const double* x, double* out,           \
+                                      std::size_t n, double cutoff);          \
+  void fast_log_batch(const double* x, double* out, std::size_t n);           \
+  void fast_log_batch_trimmed(const double* x, double* out, std::size_t n);   \
+  void fast_exp_batch(const double* y, double* out, std::size_t n);           \
+  void fast_exp_batch_trimmed(const double* y, double* out, std::size_t n);   \
+  std::uint64_t uniform_lt_mask64(const std::uint64_t* raw, const double* p); \
+  std::uint64_t uniform_lt_mask64_hi(const std::uint64_t* raw,                \
+                                     const double* p);                        \
+  std::uint64_t uniform_lt_mask64_lo(const std::uint64_t* raw,                \
+                                     const double* p);                        \
+  void xoshiro_soa_advance(std::uint64_t s[4][64], std::uint64_t* out);
+
 #if defined(__x86_64__) || defined(_M_X64)
 // Defined in simd_noise_avx2.cpp (compiled with -mavx2 -mfma); only ever
 // called after the runtime CPU check.
 namespace avx2_k {
-void boxmuller_transform(const std::uint64_t* raw, double* out,
-                         std::size_t n);
-void sin2pi_batch(const double* turns, double* out, std::size_t n);
-void normal_cdf_batch(const double* x, double* out, std::size_t n);
-std::uint64_t uniform_lt_mask64(const std::uint64_t* raw, const double* p);
-void xoshiro_soa_advance(std::uint64_t s[4][64], std::uint64_t* out);
+DHTRNG_KERNEL_DECLS
 }  // namespace avx2_k
-#endif
-
-#if defined(__aarch64__)
+// `return f(...)` is valid for void f, so one form covers every kernel.
+#define DHTRNG_DISPATCH(call)             \
+  switch (active_tier()) {                \
+    case Tier::Avx2:                      \
+      return avx2_k::call;                \
+    default:                              \
+      return scalar_k::call;              \
+  }
+#elif defined(__aarch64__)
 // Defined in simd_noise_neon.cpp; NEON is baseline on aarch64.
 namespace neon_k {
-void boxmuller_transform(const std::uint64_t* raw, double* out,
-                         std::size_t n);
-void sin2pi_batch(const double* turns, double* out, std::size_t n);
-void normal_cdf_batch(const double* x, double* out, std::size_t n);
-std::uint64_t uniform_lt_mask64(const std::uint64_t* raw, const double* p);
-void xoshiro_soa_advance(std::uint64_t s[4][64], std::uint64_t* out);
+DHTRNG_KERNEL_DECLS
 }  // namespace neon_k
+#define DHTRNG_DISPATCH(call)             \
+  switch (active_tier()) {                \
+    case Tier::Neon:                      \
+      return neon_k::call;                \
+    default:                              \
+      return scalar_k::call;              \
+  }
+#else
+#define DHTRNG_DISPATCH(call) return scalar_k::call;
 #endif
 
 namespace {
@@ -95,72 +125,60 @@ Tier force_tier(Tier t) {
 
 void boxmuller_transform(const std::uint64_t* raw, double* out,
                          std::size_t n) {
-  switch (active_tier()) {
-#if defined(__x86_64__) || defined(_M_X64)
-    case Tier::Avx2:
-      avx2_k::boxmuller_transform(raw, out, n);
-      return;
-#endif
-#if defined(__aarch64__)
-    case Tier::Neon:
-      neon_k::boxmuller_transform(raw, out, n);
-      return;
-#endif
-    default:
-      scalar_k::boxmuller_transform(raw, out, n);
-      return;
-  }
+  DHTRNG_DISPATCH(boxmuller_transform(raw, out, n))
+}
+
+void boxmuller_fill(std::uint64_t s[4], double* out, std::size_t n) {
+  DHTRNG_DISPATCH(boxmuller_fill(s, out, n))
 }
 
 void sin2pi_batch(const double* turns, double* out, std::size_t n) {
-  switch (active_tier()) {
-#if defined(__x86_64__) || defined(_M_X64)
-    case Tier::Avx2:
-      avx2_k::sin2pi_batch(turns, out, n);
-      return;
-#endif
-#if defined(__aarch64__)
-    case Tier::Neon:
-      neon_k::sin2pi_batch(turns, out, n);
-      return;
-#endif
-    default:
-      scalar_k::sin2pi_batch(turns, out, n);
-      return;
-  }
+  DHTRNG_DISPATCH(sin2pi_batch(turns, out, n))
+}
+
+void sin2pi_batch_trimmed(const double* turns, double* out, std::size_t n) {
+  DHTRNG_DISPATCH(sin2pi_batch_trimmed(turns, out, n))
 }
 
 void normal_cdf_batch(const double* x, double* out, std::size_t n) {
-  switch (active_tier()) {
-#if defined(__x86_64__) || defined(_M_X64)
-    case Tier::Avx2:
-      avx2_k::normal_cdf_batch(x, out, n);
-      return;
-#endif
-#if defined(__aarch64__)
-    case Tier::Neon:
-      neon_k::normal_cdf_batch(x, out, n);
-      return;
-#endif
-    default:
-      scalar_k::normal_cdf_batch(x, out, n);
-      return;
-  }
+  DHTRNG_DISPATCH(normal_cdf_batch(x, out, n))
+}
+
+void normal_cdf_batch_trimmed(const double* x, double* out, std::size_t n) {
+  DHTRNG_DISPATCH(normal_cdf_batch_trimmed(x, out, n))
+}
+
+void normal_cdf_batch_trimmed_gated(const double* x, double* out,
+                                    std::size_t n, double cutoff) {
+  DHTRNG_DISPATCH(normal_cdf_batch_trimmed_gated(x, out, n, cutoff))
+}
+
+void fast_log_batch(const double* x, double* out, std::size_t n) {
+  DHTRNG_DISPATCH(fast_log_batch(x, out, n))
+}
+
+void fast_log_batch_trimmed(const double* x, double* out, std::size_t n) {
+  DHTRNG_DISPATCH(fast_log_batch_trimmed(x, out, n))
+}
+
+void fast_exp_batch(const double* y, double* out, std::size_t n) {
+  DHTRNG_DISPATCH(fast_exp_batch(y, out, n))
+}
+
+void fast_exp_batch_trimmed(const double* y, double* out, std::size_t n) {
+  DHTRNG_DISPATCH(fast_exp_batch_trimmed(y, out, n))
 }
 
 std::uint64_t uniform_lt_mask64(const std::uint64_t* raw, const double* p) {
-  switch (active_tier()) {
-#if defined(__x86_64__) || defined(_M_X64)
-    case Tier::Avx2:
-      return avx2_k::uniform_lt_mask64(raw, p);
-#endif
-#if defined(__aarch64__)
-    case Tier::Neon:
-      return neon_k::uniform_lt_mask64(raw, p);
-#endif
-    default:
-      return scalar_k::uniform_lt_mask64(raw, p);
-  }
+  DHTRNG_DISPATCH(uniform_lt_mask64(raw, p))
+}
+
+std::uint64_t uniform_lt_mask64_hi(const std::uint64_t* raw, const double* p) {
+  DHTRNG_DISPATCH(uniform_lt_mask64_hi(raw, p))
+}
+
+std::uint64_t uniform_lt_mask64_lo(const std::uint64_t* raw, const double* p) {
+  DHTRNG_DISPATCH(uniform_lt_mask64_lo(raw, p))
 }
 
 void XoshiroSoA::seed_lane(std::size_t lane, std::uint64_t seed) {
@@ -169,25 +187,15 @@ void XoshiroSoA::seed_lane(std::size_t lane, std::uint64_t seed) {
 }
 
 void XoshiroSoA::advance(std::uint64_t* out) {
-  switch (active_tier()) {
-#if defined(__x86_64__) || defined(_M_X64)
-    case Tier::Avx2:
-      avx2_k::xoshiro_soa_advance(s, out);
-      return;
-#endif
-#if defined(__aarch64__)
-    case Tier::Neon:
-      neon_k::xoshiro_soa_advance(s, out);
-      return;
-#endif
-    default:
-      scalar_k::xoshiro_soa_advance(s, out);
-      return;
-  }
+  DHTRNG_DISPATCH(xoshiro_soa_advance(s, out))
 }
 
 void XoshiroSoA::fill(std::uint64_t* out, std::size_t n) {
   for (std::size_t i = 0; i + 64 <= n; i += 64) advance(out + i);
+}
+
+void XoshiroSoA::gaussian_fill(double* out, std::size_t n) {
+  DHTRNG_DISPATCH(xoshiro_soa_gaussian_fill(s, out, n))
 }
 
 }  // namespace dhtrng::support::simd
@@ -195,21 +203,17 @@ void XoshiroSoA::fill(std::uint64_t* out, std::size_t n) {
 namespace dhtrng::support {
 
 void Xoshiro256::gaussian_fill_fast(double* out, std::size_t n) noexcept {
-  std::uint64_t raw[256];
-  std::size_t done = 0;
-  while (n - done >= 2) {
-    const std::size_t chunk = std::min<std::size_t>((n - done) & ~1ULL, 256);
-    fill_raw(raw, chunk);
-    simd::boxmuller_transform(raw, out + done, chunk);
-    done += chunk;
-  }
-  if (done < n) {
-    // Odd tail: Box-Muller produces pairs, so one draw is discarded (the
-    // documented fast-mode stream dependence on fill boundaries).
+  // Fused xoshiro + Box-Muller straight from the generator state — no
+  // intermediate raw buffer.  The fused stream is position-fixed, so any
+  // chunking of fills yields the same values (the pre-fusion fill-then-
+  // transform path only guaranteed that per chunk).
+  simd::boxmuller_fill(s_, out, n & ~std::size_t{1});
+  if ((n & 1) != 0) {
+    // Odd tail: the fused kernel produces pairs, so one draw of the final
+    // word is discarded (as with the pre-fusion path).
     double pair[2];
-    fill_raw(raw, 2);
-    simd::boxmuller_transform(raw, pair, 2);
-    out[done] = pair[0];
+    simd::boxmuller_fill(s_, pair, 2);
+    out[n - 1] = pair[0];
   }
 }
 

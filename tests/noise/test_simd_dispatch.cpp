@@ -182,6 +182,190 @@ TEST(SimdDispatch, XoshiroSoANativeMatchesScalar) {
   EXPECT_EQ(native, scalar);
 }
 
+TEST(SimdDispatch, BoxmullerFillNativeMatchesScalarBitwise) {
+  constexpr std::size_t kN = 4096;
+  // Seed two identical xoshiro states the way Xoshiro256 does (SplitMix64
+  // expansion), advance both through the fused fill on different tiers.
+  std::uint64_t sa[4], sb[4];
+  dhtrng::support::SplitMix64 seeder(0xf05ed);
+  for (int j = 0; j < 4; ++j) sa[j] = sb[j] = seeder.next();
+  std::vector<double> native(kN), scalar(kN);
+  simd::boxmuller_fill(sa, native.data(), kN);
+  {
+    TierScope s(simd::Tier::Scalar);
+    simd::boxmuller_fill(sb, scalar.data(), kN);
+  }
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(native[i], scalar[i]) << "draw " << i;
+  }
+  // The fill advances the state identically too — a caller interleaving
+  // fused fills with raw draws stays on one stream across tiers.
+  for (int j = 0; j < 4; ++j) ASSERT_EQ(sa[j], sb[j]) << "state word " << j;
+}
+
+TEST(SimdDispatch, BoxmullerFillIsChunkInvariant) {
+  // The fused stream is position-fixed: normals 2j, 2j+1 come from the
+  // j-th word regardless of how the fill is chunked, so any sequence of
+  // even-sized fills concatenates to the one-shot fill exactly.
+  constexpr std::size_t kN = 1024;
+  std::uint64_t whole[4], parts[4];
+  dhtrng::support::SplitMix64 seeder(0xc4a2);
+  for (int j = 0; j < 4; ++j) whole[j] = parts[j] = seeder.next();
+  std::vector<double> one(kN), many(kN);
+  simd::boxmuller_fill(whole, one.data(), kN);
+  const std::size_t chunks[] = {2, 62, 128, 510, 322};  // sums to 1024
+  std::size_t off = 0;
+  for (std::size_t c : chunks) {
+    simd::boxmuller_fill(parts, many.data() + off, c);
+    off += c;
+  }
+  ASSERT_EQ(off, kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(one[i], many[i]) << "draw " << i;
+  }
+  for (int j = 0; j < 4; ++j) ASSERT_EQ(whole[j], parts[j]);
+}
+
+TEST(SimdDispatch, BoxmullerFillMomentsAreStandardNormal) {
+  constexpr std::size_t kN = 1 << 18;
+  std::uint64_t s[4];
+  dhtrng::support::SplitMix64 seeder(0x90210);
+  for (int j = 0; j < 4; ++j) s[j] = seeder.next();
+  std::vector<double> z(kN);
+  simd::boxmuller_fill(s, z.data(), kN);
+  double mean = 0.0, var = 0.0, kurt = 0.0;
+  for (double v : z) mean += v;
+  mean /= static_cast<double>(kN);
+  for (double v : z) {
+    const double d = v - mean;
+    var += d * d;
+    kurt += d * d * d * d;
+  }
+  var /= static_cast<double>(kN);
+  kurt = kurt / static_cast<double>(kN) / (var * var);
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.02);
+  EXPECT_NEAR(kurt, 3.0, 0.1);
+}
+
+TEST(SimdDispatch, XoshiroSoAGaussianFillNativeMatchesScalar) {
+  // 832 is the SoA engine's off-refresh draw count: 6 full 64-lane
+  // advances plus a partial 7th, so the deterministic-discard tail path
+  // is exercised, not just the aligned path.
+  constexpr std::size_t kN = 832;
+  simd::XoshiroSoA a, b;
+  for (std::size_t l = 0; l < 64; ++l) {
+    a.seed_lane(l, 42 + l);
+    b.seed_lane(l, 42 + l);
+  }
+  std::vector<double> native(kN), scalar(kN);
+  a.gaussian_fill(native.data(), kN);
+  {
+    TierScope s(simd::Tier::Scalar);
+    b.gaussian_fill(scalar.data(), kN);
+  }
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(native[i], scalar[i]) << "draw " << i;
+  }
+  // Subsequent raw fills must stay in lockstep (same words discarded).
+  std::vector<std::uint64_t> ra(64), rb(64);
+  a.fill(ra.data(), 64);
+  {
+    TierScope s(simd::Tier::Scalar);
+    b.fill(rb.data(), 64);
+  }
+  EXPECT_EQ(ra, rb);
+}
+
+TEST(SimdDispatch, UniformLtMaskHiLoNativeMatchesScalarAndSemantics) {
+  const auto raw = raw_block(64 * 8, 0x19);
+  std::vector<double> p(64);
+  dhtrng::support::Xoshiro256 rng(0x20);
+  for (int rep = 0; rep < 8; ++rep) {
+    for (auto& v : p) v = rng.uniform();
+    const std::uint64_t* w = raw.data() + 64 * rep;
+    const std::uint64_t hi_native = simd::uniform_lt_mask64_hi(w, p.data());
+    const std::uint64_t lo_native = simd::uniform_lt_mask64_lo(w, p.data());
+    {
+      TierScope s(simd::Tier::Scalar);
+      ASSERT_EQ(hi_native, simd::uniform_lt_mask64_hi(w, p.data()));
+      ASSERT_EQ(lo_native, simd::uniform_lt_mask64_lo(w, p.data()));
+    }
+    // Reference semantics: 32-bit halves scaled by 2^-32, strict less-than.
+    for (int l = 0; l < 64; ++l) {
+      const double hi_u = static_cast<double>(w[l] >> 32) * 0x1p-32;
+      const double lo_u =
+          static_cast<double>(w[l] & 0xffffffffu) * 0x1p-32;
+      ASSERT_EQ((hi_native >> l) & 1, hi_u < p[l] ? 1u : 0u);
+      ASSERT_EQ((lo_native >> l) & 1, lo_u < p[l] ? 1u : 0u);
+    }
+  }
+}
+
+TEST(SimdDispatch, TrimmedBatchesNativeMatchScalarBitwise) {
+  constexpr std::size_t kN = 2048;
+  dhtrng::support::Xoshiro256 rng(0x7213);
+  std::vector<double> turns(kN), xs(kN), logs(kN), exps(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    turns[i] = rng.uniform(0.0, 2.0);
+    xs[i] = rng.uniform(-8.0, 8.0);
+    logs[i] = rng.uniform(1e-10, 1.0);
+    exps[i] = rng.uniform(-40.0, 0.0);
+  }
+  std::vector<double> native(kN), scalar(kN);
+  const struct {
+    const char* name;
+    void (*fn)(const double*, double*, std::size_t);
+    const std::vector<double>* in;
+  } cases[] = {
+      {"sin2pi_trimmed", simd::sin2pi_batch_trimmed, &turns},
+      {"normal_cdf_trimmed", simd::normal_cdf_batch_trimmed, &xs},
+      {"fast_log", simd::fast_log_batch, &logs},
+      {"fast_log_trimmed", simd::fast_log_batch_trimmed, &logs},
+      {"fast_exp", simd::fast_exp_batch, &exps},
+      {"fast_exp_trimmed", simd::fast_exp_batch_trimmed, &exps},
+  };
+  for (const auto& c : cases) {
+    c.fn(c.in->data(), native.data(), kN);
+    {
+      TierScope s(simd::Tier::Scalar);
+      c.fn(c.in->data(), scalar.data(), kN);
+    }
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(native[i], scalar[i]) << c.name << " element " << i;
+    }
+  }
+}
+
+TEST(SimdDispatch, GatedTrimmedCdfParityAndSemantics) {
+  constexpr std::size_t kN = 1027;  // non-multiple of 4 exercises the tail
+  constexpr double kCut = 4.0;
+  dhtrng::support::Xoshiro256 rng(0x6a7e);
+  std::vector<double> xs(kN);
+  // Mostly-far population with scattered near lanes, like the engine's
+  // aperture distances: all-far groups, mixed groups, and a gated tail.
+  for (std::size_t i = 0; i < kN; ++i) {
+    xs[i] = rng.uniform() < 0.2 ? rng.uniform(0.0, kCut)
+                                : rng.uniform(kCut, 40.0);
+  }
+  std::vector<double> native(kN), scalar(kN), ungated(kN);
+  simd::normal_cdf_batch_trimmed_gated(xs.data(), native.data(), kN, kCut);
+  {
+    TierScope s(simd::Tier::Scalar);
+    simd::normal_cdf_batch_trimmed_gated(xs.data(), scalar.data(), kN, kCut);
+    simd::normal_cdf_batch_trimmed(xs.data(), ungated.data(), kN);
+  }
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(native[i], scalar[i]) << "tier mismatch at element " << i;
+    // Per-4-group semantics: 1.0 iff the whole group is at/past the
+    // cutoff; otherwise (and for tail lanes) exactly the ungated batch.
+    const std::size_t g = i - i % 4;
+    bool gated = g + 4 <= kN;
+    for (std::size_t j = g; gated && j < g + 4; ++j) gated = !(xs[j] < kCut);
+    ASSERT_EQ(native[i], gated ? 1.0 : ungated[i]) << "element " << i;
+  }
+}
+
 TEST(SimdDispatch, GaussianFillFastNativeMatchesScalar) {
   constexpr std::size_t kN = 1000;  // odd-ish size exercises the tail
   dhtrng::support::Xoshiro256 a(0xfa57), b(0xfa57);

@@ -6,6 +6,7 @@
 // exactly.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -49,9 +50,10 @@ ParsedStats parse_stats(const std::string& text) {
   while (in >> key >> value) {
     if (key == "state") {
       parsed.state = value;
-    } else {
+    } else if (!value.empty() && std::isdigit(value[0]) != 0) {
       parsed.counters[key] = std::stoull(value);
     }
+    // Other text-valued lines (simd_tier, noise_mode) are not counters.
   }
   return parsed;
 }
