@@ -1,12 +1,15 @@
 // Command-line TRNG utility — generate random data and/or evaluate it.
 //
 //   trng_tool generate [--device=artix7|virtex6] [--bits=N] [--seed=S]
-//                      [--backend=fast|gate|soa] [--format=hex|bin|bits]
+//                      [--backend=fast|gate|soa|neo|klein|hbn]
+//                      [--format=hex|bin|bits]
 //                      [--post=none|vn|peres|xor4|sha256]
 //                      [--noise-mode=fast|exact]
 //   trng_tool evaluate [--device=...] [--bits=N] [--seed=S] [--threads=T]
 //                      [--noise-mode=...]
 //   trng_tool report   [--device=...] [--bits=N] [--seed=S] [--noise-mode=...]
+//   trng_tool compare  [--seed=S] [--bits=N] [--device=artix7|virtex6]
+//                      [--archs=dhtrng,neo,klein,hbn]
 //   trng_tool serve    [--port=P] [--unix=PATH] [--producers=N]
 //                      [--workers=N] [--seed=S] [--device=] [--backend=]
 //                      [--rate-mbps=R] [--max-request=N] [--noise-mode=...]
@@ -48,6 +51,8 @@
 #include "core/dhtrng.h"
 #include "core/dhtrng_soa.h"
 #include "core/postprocess.h"
+#include "core/zoo/compare.h"
+#include "core/zoo/zoo.h"
 #include "service/client.h"
 #include "service/entropy_server.h"
 #include "stats/correlation.h"
@@ -81,6 +86,21 @@ noise::NoiseMode parse_noise_mode(int argc, char** argv,
                            " (expected fast|exact)");
 }
 
+/// The complete --backend vocabulary, for error messages: the DH-TRNG
+/// backends plus every registered zoo architecture.
+std::string valid_backends() {
+  std::string names = "fast|gate|soa";
+  for (const std::string& name : core::zoo_source_names()) {
+    names += "|" + name;
+  }
+  return names;
+}
+
+[[noreturn]] void reject_backend(const std::string& backend) {
+  throw std::runtime_error("unknown --backend=" + backend + " (expected " +
+                           valid_backends() + ")");
+}
+
 core::DhTrngConfig make_core_config(int argc, char** argv) {
   core::DhTrngConfig cfg;
   if (flag(argc, argv, "device", "artix7") == "virtex6") {
@@ -94,18 +114,32 @@ core::DhTrngConfig make_core_config(int argc, char** argv) {
   return cfg;
 }
 
-// --backend=soa selects the bitsliced 64-instance bulk backend
-// (core::DhTrngSoA): same device/seed flags, ~an order of magnitude more
+// --backend selects the generator: `fast`/`gate` are the DH-TRNG's
+// behavioral and event-simulated backends, `soa` the bitsliced
+// 64-instance bulk backend (core::DhTrngSoA — ~an order of magnitude more
 // bits per second, statistically equivalent but not bit-identical to a
-// single DhTrng instance (it interleaves 64 independent instances).
+// single DhTrng instance), and `neo`/`klein`/`hbn` the zoo architectures
+// (core/zoo/zoo.h, behavioral models).  Anything else is rejected with
+// the full vocabulary — no silent fallback to the default.
 std::unique_ptr<core::TrngSource> make_trng(int argc, char** argv) {
-  if (flag(argc, argv, "backend", "fast") == "soa") {
+  const std::string backend = flag(argc, argv, "backend", "fast");
+  if (backend == "soa") {
     core::DhTrngSoAConfig cfg;
     cfg.core = make_core_config(argc, argv);
     cfg.noise_mode = parse_noise_mode(argc, argv, "fast");
     return std::make_unique<core::DhTrngSoA>(cfg);
   }
-  return std::make_unique<core::DhTrng>(make_core_config(argc, argv));
+  if (backend == "fast" || backend == "gate") {
+    return std::make_unique<core::DhTrng>(make_core_config(argc, argv));
+  }
+  core::ZooOptions opt;
+  if (flag(argc, argv, "device", "artix7") == "virtex6") {
+    opt.device = fpga::DeviceModel::virtex6();
+  }
+  opt.seed = std::stoull(flag(argc, argv, "seed", "1"));
+  opt.noise_mode = parse_noise_mode(argc, argv, "exact");
+  if (auto src = core::make_zoo_source(backend, opt)) return src;
+  reject_backend(backend);
 }
 
 int cmd_generate(int argc, char** argv) {
@@ -202,18 +236,48 @@ int cmd_serve(int argc, char** argv) {
   cfg.global_rate_bytes_per_s =
       static_cast<std::uint64_t>(rate_mbps * 1e6 / 8.0);
 
+  const std::string backend = flag(argc, argv, "backend", "fast");
   core::DhTrngConfig core_cfg;
   if (flag(argc, argv, "device", "artix7") == "virtex6") {
     core_cfg.device = fpga::DeviceModel::virtex6();
   }
-  if (flag(argc, argv, "backend", "fast") == "gate") {
-    core_cfg.backend = core::Backend::GateLevel;
-  }
+  if (backend == "gate") core_cfg.backend = core::Backend::GateLevel;
   core_cfg.noise_mode = parse_noise_mode(argc, argv, "exact");
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
-  auto server = service::EntropyServer::of_dhtrng(cfg, core_cfg);
+  std::unique_ptr<service::EntropyServer> server;
+  if (backend == "fast" || backend == "gate") {
+    server = service::EntropyServer::of_dhtrng(cfg, core_cfg);
+  } else if (backend == "soa") {
+    // A bitsliced 64-lane bulk generator per producer.
+    core::DhTrngSoAConfig soa_cfg;
+    soa_cfg.core = core_cfg;
+    soa_cfg.noise_mode = parse_noise_mode(argc, argv, "fast");
+    cfg.noise_mode_label =
+        soa_cfg.noise_mode == noise::NoiseMode::Fast ? "fast" : "exact";
+    server = std::make_unique<service::EntropyServer>(
+        cfg, [soa_cfg](std::size_t, std::uint64_t seed) {
+          core::DhTrngSoAConfig producer = soa_cfg;
+          producer.core.seed = seed;
+          return std::make_unique<core::DhTrngSoA>(producer);
+        });
+  } else {
+    // Zoo architectures: the pool's producers are zoo sources.
+    core::ZooOptions opt;
+    opt.device = core_cfg.device;
+    opt.noise_mode = core_cfg.noise_mode;
+    opt.seed = cfg.pool.seed;
+    if (!core::make_zoo_source(backend, opt)) reject_backend(backend);
+    cfg.noise_mode_label =
+        opt.noise_mode == noise::NoiseMode::Fast ? "fast" : "exact";
+    server = std::make_unique<service::EntropyServer>(
+        cfg, [backend, opt](std::size_t, std::uint64_t seed) {
+          core::ZooOptions producer = opt;
+          producer.seed = seed;
+          return core::make_zoo_source(backend, producer);
+        });
+  }
   std::printf("entropy service listening on 127.0.0.1:%u%s%s\n",
               server->tcp_port(),
               cfg.unix_path.empty() ? "" : " and ",
@@ -357,6 +421,34 @@ int cmd_subscribe(int argc, char** argv) {
   return 0;
 }
 
+// Table-6-style cross-architecture report (core/zoo/compare.h): every
+// architecture (or --archs=a,b,c) characterized per device model on the
+// same pinned seed.  The output is deterministic — CI pins it as an
+// artifact, and identical flags reproduce it byte for byte.
+int cmd_compare(int argc, char** argv) {
+  core::CompareOptions opt;
+  opt.seed = std::stoull(flag(argc, argv, "seed", "42"));
+  opt.bits = std::stoull(flag(argc, argv, "bits", "131072"));
+  const std::string device = flag(argc, argv, "device", "");
+  if (device == "artix7") {
+    opt.devices = {fpga::DeviceModel::artix7()};
+  } else if (device == "virtex6") {
+    opt.devices = {fpga::DeviceModel::virtex6()};
+  } else if (!device.empty()) {
+    throw std::runtime_error("unknown --device=" + device +
+                             " (expected artix7|virtex6)");
+  }
+  std::string archs = flag(argc, argv, "archs", "");
+  while (!archs.empty()) {
+    const std::size_t comma = archs.find(',');
+    opt.archs.push_back(archs.substr(0, comma));
+    archs = comma == std::string::npos ? "" : archs.substr(comma + 1);
+  }
+  const auto report = core::compare_architectures(opt);
+  std::fputs(report.text().c_str(), stdout);
+  return 0;
+}
+
 int cmd_stats(int argc, char** argv) {
   auto client = connect_client(argc, argv);
   std::fputs(client.stats().c_str(), stdout);
@@ -374,8 +466,8 @@ int cmd_cert(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s generate|evaluate|report|serve|fetch|subscribe|"
-                 "stats|cert "
+                 "usage: %s generate|evaluate|report|compare|serve|fetch|"
+                 "subscribe|stats|cert "
                  "[--device=] [--bits=] [--seed=] [--backend=] [--format=] "
                  "[--post=] [--port=] [--unix=] [--bytes=] [--quality=] "
                  "[--interval-ms=] [--count=] [--noise-mode=fast|exact]\n",
@@ -387,6 +479,7 @@ int main(int argc, char** argv) {
     if (cmd == "generate") return cmd_generate(argc, argv);
     if (cmd == "evaluate") return cmd_evaluate(argc, argv);
     if (cmd == "report") return cmd_report(argc, argv);
+    if (cmd == "compare") return cmd_compare(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
     if (cmd == "fetch") return cmd_fetch(argc, argv);
     if (cmd == "subscribe") return cmd_subscribe(argc, argv);

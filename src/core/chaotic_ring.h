@@ -55,6 +55,11 @@ class ChaoticRing {
   bool level() const { return ring_.level(); }
   double phase() const { return ring_.phase(); }
 
+  /// The underlying phase accumulator (edge distance, period) — used by
+  /// samplers that apply their own flip-flop aperture model, e.g. the
+  /// hybrid-Boolean-network source (zoo/hbn_trng.h).
+  const PhaseRo& ring() const { return ring_; }
+
   void reset() {
     ring_.reset();
     last_feedback_ = false;

@@ -1,0 +1,225 @@
+#include "core/zoo/klein_trng.h"
+
+#include <string>
+
+#include "support/rng.h"
+#include "support/special_functions.h"
+
+namespace dhtrng::core {
+
+namespace {
+
+int ring_length(int r) { return kKleinRingLengths[r % 4]; }
+
+// +-1.3% element mismatch, deterministic in the ring index (same role as
+// the XorRo netlist's skew: keep equal-length rings from locking in the
+// noiseless-mean simulator).
+double ring_skew(int r) { return 1.0 + 0.013 * ((r % 5) - 2); }
+
+std::size_t xor_tree_luts(int rings) {
+  std::size_t luts = 0;
+  std::size_t fan = static_cast<std::size_t>(rings);
+  while (fan > 1) {
+    const std::size_t gates = (fan + 5) / 6;
+    luts += gates;
+    fan = gates;
+  }
+  return luts;
+}
+
+std::vector<fpga::PackGroup> klein_pack_groups(int rings) {
+  std::size_t ring_luts = 0;
+  for (int r = 0; r < rings; ++r) {
+    ring_luts += static_cast<std::size_t>(ring_length(r));
+  }
+  return {
+      fpga::PackGroup{"klein-rings", ring_luts, 0, 0},
+      fpga::PackGroup{"klein-sampler", xor_tree_luts(rings), 0,
+                      static_cast<std::size_t>(rings) + 1},
+      // XOR fold: accumulator LUT + folded-bit register + phase toggle.
+      fpga::PackGroup{"klein-fold", 1, 0, 2},
+  };
+}
+
+}  // namespace
+
+KleinTrngNetlist build_klein_trng_netlist(const fpga::DeviceModel& device,
+                                          double clock_mhz, int rings) {
+  KleinTrngNetlist n;
+  sim::Circuit& c = n.circuit;
+
+  const sim::NetId en = c.add_net("en");
+  c.set_initial(en, true);
+  n.clock_net = c.add_net("clk");
+  c.add_clock(n.clock_net, 1e6 / clock_mhz);
+
+  const double element_delay =
+      device.lut_delay_ps + 0.35 * device.net_delay_ps;
+  const sim::DffTiming ff = device.dff_timing();
+
+  std::vector<sim::NetId> q;
+  for (int r = 0; r < rings; ++r) {
+    const sim::NetId ring = build_ring_oscillator(
+        c, "ro" + std::to_string(r), ring_length(r), en,
+        element_delay * ring_skew(r));
+    const sim::NetId qn = c.add_net("q" + std::to_string(r));
+    n.sampler_dffs.push_back(c.add_dff(n.clock_net, ring, qn, ff));
+    q.push_back(qn);
+  }
+
+  // XOR reduction with LUT6s (same shape as build_xor_ro_netlist).
+  const double tree_delay = device.lut_delay_ps + 0.3 * device.net_delay_ps;
+  int level = 0;
+  while (q.size() > 1) {
+    std::vector<sim::NetId> next;
+    for (std::size_t i = 0; i < q.size(); i += 6) {
+      const std::size_t take = std::min<std::size_t>(6, q.size() - i);
+      if (take == 1) {
+        next.push_back(q[i]);
+        continue;
+      }
+      const sim::NetId out = c.add_net("xt" + std::to_string(level) + "_" +
+                                       std::to_string(i / 6));
+      c.add_gate(
+          sim::GateKind::Xor,
+          std::vector<sim::NetId>(q.begin() + static_cast<long>(i),
+                                  q.begin() + static_cast<long>(i + take)),
+          out, tree_delay);
+      next.push_back(out);
+    }
+    q = std::move(next);
+    ++level;
+  }
+
+  n.out_net = c.add_net("raw");
+  n.out_dff = c.add_dff(n.clock_net, q.front(), n.out_net, ff);
+  n.pack_groups = klein_pack_groups(rings);
+  return n;
+}
+
+KleinTrng::KleinTrng(KleinTrngConfig config)
+    : config_(config),
+      dt_ps_(1e6 / config.clock_mhz),
+      scale_(config.device.scaling(config.pvt)),
+      shared_noise_(config.device.gate_jitter.correlated_sigma_ps * 2.0,
+                    config.seed ^ 0x9e3779b97f4a7c15ULL),
+      meta_rng_(config.seed ^ 0x0f0f0f0f0f0f0f0fULL) {
+  if (config_.backend == Backend::Fast) {
+    support::SplitMix64 seeder(config_.seed);
+    rings_.reserve(static_cast<std::size_t>(config_.rings));
+    for (int r = 0; r < config_.rings; ++r) {
+      PhaseRoParams p;
+      p.stages = ring_length(r);
+      p.stage_delay_ps = (config_.device.lut_delay_ps +
+                          0.35 * config_.device.net_delay_ps) *
+                         ring_skew(r);
+      p.kappa_ps_per_sqrt_ps =
+          0.035 * config_.device.gate_jitter.white_sigma_ps / 1.2;
+      p.flicker_sigma_ps = 3.0;
+      p.period_tolerance = 0.04;
+      rings_.emplace_back(p, seeder.next());
+    }
+  } else {
+    netlist_ = std::make_unique<KleinTrngNetlist>(build_klein_trng_netlist(
+        config_.device, config_.clock_mhz, config_.rings));
+    rebuild_simulator(config_.seed);
+  }
+}
+
+void KleinTrng::rebuild_simulator(std::uint64_t seed) {
+  sim::SimConfig sc;
+  sc.seed = seed;
+  sc.gate_jitter = config_.device.gate_jitter;
+  sc.scaling = scale_;
+  sc.noise_mode = config_.noise_mode;
+  sim_ = std::make_unique<sim::Simulator>(netlist_->circuit, sc);
+  sim_->record_dff(netlist_->out_dff);
+  sample_cursor_ = 0;
+}
+
+std::string KleinTrng::name() const {
+  std::string n = "Klein-RO(x" + std::to_string(config_.rings) + ")";
+  if (!config_.raw && config_.fold > 1) {
+    n += "/fold" + std::to_string(config_.fold);
+  }
+  return n;
+}
+
+bool KleinTrng::raw_bit() {
+  if (config_.backend == Backend::GateLevel) {
+    const auto& samples = sim_->samples(netlist_->out_dff);
+    while (samples.size() <= sample_cursor_) {
+      sim_->run_until(sim_->now() + dt_ps_);
+    }
+    return samples[sample_cursor_++] != 0;
+  }
+  const double shared = shared_noise_.step();
+  bool out = false;
+  for (PhaseRo& ring : rings_) {
+    ring.advance(dt_ps_, shared, scale_);
+    bool bit = ring.level();
+    // Sampler-DFF aperture (Eq. 2) near a ring transition.
+    const double dist = ring.edge_distance_ps(scale_);
+    const double sigma = config_.device.ff_aperture_sigma_ps;
+    if (dist < 4.0 * sigma) {
+      const double p_keep = support::normal_cdf(dist / sigma);
+      if (!meta_rng_.bernoulli(p_keep)) bit = !bit;
+    }
+    out ^= bit;
+  }
+  return out;
+}
+
+bool KleinTrng::next_bit() {
+  if (config_.raw) return raw_bit();
+  bool out = false;
+  for (int i = 0; i < config_.fold; ++i) out ^= raw_bit();
+  return out;
+}
+
+void KleinTrng::restart() {
+  ++restart_count_;
+  if (config_.backend == Backend::Fast) {
+    for (PhaseRo& ring : rings_) ring.reset();
+  } else {
+    support::SplitMix64 mix(config_.seed + restart_count_);
+    rebuild_simulator(mix.next());
+  }
+}
+
+sim::ResourceCounts KleinTrng::resources() const {
+  sim::ResourceCounts rc;
+  for (const fpga::PackGroup& g : klein_pack_groups(config_.rings)) {
+    rc.luts += g.luts;
+    rc.muxes += g.muxes;
+    rc.dffs += g.dffs;
+  }
+  return rc;
+}
+
+fpga::SliceReport KleinTrng::slice_report() const {
+  const std::vector<fpga::PackGroup> groups =
+      netlist_ ? netlist_->pack_groups : klein_pack_groups(config_.rings);
+  return fpga::SlicePacker{}.pack(groups);
+}
+
+fpga::ActivityEstimate KleinTrng::activity() const {
+  fpga::ActivityEstimate a;
+  a.clock_mhz = config_.clock_mhz;
+  a.flip_flops = static_cast<std::size_t>(config_.rings) + 3;
+  double total = 0.0;
+  for (int r = 0; r < config_.rings; ++r) {
+    const double len = static_cast<double>(ring_length(r));
+    const double period_ps = 2.0 * len *
+                             (config_.device.lut_delay_ps +
+                              0.35 * config_.device.net_delay_ps) *
+                             ring_skew(r) * scale_.delay;
+    total += 2.0 * len * 1e3 / period_ps;
+  }
+  total += static_cast<double>(a.flip_flops + xor_tree_luts(config_.rings)) *
+           config_.clock_mhz * 0.5e-3;
+  a.logic_toggle_ghz = total;
+  return a;
+}
+
+}  // namespace dhtrng::core

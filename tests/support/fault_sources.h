@@ -11,7 +11,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/trng.h"
@@ -131,6 +133,53 @@ class IntermittentDropoutSource final : public dhtrng::core::TrngSource {
   bool stuck_;
   std::uint64_t bit_ = 0;
   std::size_t next_window_ = 0;
+};
+
+/// Decorator scheduling a fault onto any real TrngSource: passes the
+/// wrapped source's bits through until bit index `fail_at_bit`, then
+/// either sticks at `stuck_value` (p_one < 0) or emits Bernoulli(`p_one`)
+/// from an internal PRNG.  This is how the architecture-agnostic pool /
+/// service batteries (test_zoo_pool, test_zoo_service) inject the exact
+/// same failure schedules into every zoo architecture that StuckSource /
+/// BiasedSource provide for the synthetic ideal source.  The failure is
+/// scheduled on this wrapper's own bit counter, so it is bit-exact
+/// regardless of what the inner source does.
+class DegradingSource final : public dhtrng::core::TrngSource {
+ public:
+  DegradingSource(std::unique_ptr<dhtrng::core::TrngSource> inner,
+                  std::uint64_t fail_at_bit, double p_one = -1.0,
+                  bool stuck_value = false, std::uint64_t bias_seed = 0x5eed)
+      : inner_(std::move(inner)),
+        rng_(bias_seed),
+        fail_at_(fail_at_bit),
+        p_one_(p_one),
+        stuck_(stuck_value) {}
+  std::string name() const override { return inner_->name() + "+fault"; }
+  bool next_bit() override {
+    const std::uint64_t i = bit_++;
+    if (i < fail_at_) return inner_->next_bit();
+    if (p_one_ < 0.0) return stuck_;
+    return rng_.bernoulli(p_one_);
+  }
+  void restart() override { inner_->restart(); }
+  dhtrng::sim::ResourceCounts resources() const override {
+    return inner_->resources();
+  }
+  double clock_mhz() const override { return inner_->clock_mhz(); }
+  double throughput_mbps() const override {
+    return inner_->throughput_mbps();
+  }
+  dhtrng::fpga::ActivityEstimate activity() const override {
+    return inner_->activity();
+  }
+
+ private:
+  std::unique_ptr<dhtrng::core::TrngSource> inner_;
+  dhtrng::support::Xoshiro256 rng_;
+  std::uint64_t fail_at_;
+  double p_one_;
+  bool stuck_;
+  std::uint64_t bit_ = 0;
 };
 
 }  // namespace dhtrng::testsupport
